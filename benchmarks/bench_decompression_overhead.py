@@ -1,0 +1,104 @@
+"""Extension — decompression-side time overhead per scheme.
+
+The paper's Tables III-V cover compression; Sec. V-D notes that
+decompression bandwidth exceeds compression ("mathematical computations
+required in the compression process ... are not present in
+decompression").  This extension produces the decompression analog of
+the overhead tables using the same paired, modeled-AES methodology:
+scheme unprotect + SZ decode versus plain unprotect + SZ decode on the
+*same* container contents.
+"""
+
+import numpy as np
+
+from repro.bench.harness import (
+    EBS,
+    KEY,
+    aes_calibration,
+    dataset_cache,
+    model_aes_mb_s,
+)
+from repro.bench.tables import format_grid
+from repro.core.schemes import get_scheme
+from repro.core.timing import StageTimes
+from repro.crypto.aes import AES128
+from repro.sz.compressor import SZCompressor
+from repro.sz.lossless import DEFAULT_LEVEL
+
+from conftest import BENCH_REPEATS, BENCH_SIZE, TABLE_DATASETS, emit
+
+
+def _paired_decompress_overhead(data, scheme_name, eb, repeats):
+    """Median of 100 * t_scheme_decode / t_plain_decode (paired)."""
+    scheme = get_scheme(scheme_name)
+    base = get_scheme("none")
+    cipher = AES128(KEY)
+    iv = bytes(16)
+    _, dec_rate = aes_calibration()
+    sz = SZCompressor(eb)
+    frame = sz.compress(np.asarray(data))
+    protected = scheme.protect(
+        dict(frame.sections), cipher, iv, "cbc", DEFAULT_LEVEL, StageTimes()
+    )
+    plain = base.protect(
+        dict(frame.sections), None, iv, "cbc", DEFAULT_LEVEL, StageTimes()
+    )
+    ratios = []
+    for _ in range(repeats):
+        t_s = StageTimes()
+        sections = scheme.unprotect(protected, cipher, iv, "cbc", t_s)
+        decode: dict[str, float] = {}
+        from repro.sz.compressor import SZFrame
+        sz.decompress(
+            SZFrame(sections=sections, stats=frame.stats), decode
+        )
+        t_b = StageTimes()
+        base_sections = base.unprotect(plain, None, iv, "cbc", t_b)
+        decode_b: dict[str, float] = {}
+        sz.decompress(
+            SZFrame(sections=base_sections, stats=frame.stats), decode_b
+        )
+        shared = sum(decode_b.values())  # decode work is identical
+        measured_dec = t_s.seconds.get("decrypt", 0.0)
+        modeled_dec = measured_dec * dec_rate / model_aes_mb_s()
+        t_scheme = shared + t_s.seconds.get("lossless", 0.0) + modeled_dec
+        t_base = shared + t_b.seconds.get("lossless", 0.0)
+        ratios.append(100.0 * t_scheme / t_base)
+    return float(np.median(ratios))
+
+
+def test_decompression_overhead(eb_labels, benchmark):
+    tables = []
+    means = {}
+    for scheme in ("cmpr_encr", "encr_quant", "encr_huffman"):
+        rows = []
+        for name in TABLE_DATASETS:
+            data = dataset_cache(name, size=BENCH_SIZE)
+            rows.append([
+                _paired_decompress_overhead(
+                    data, scheme, eb, max(BENCH_REPEATS, 3)
+                )
+                for eb in EBS
+            ])
+        tables.append(
+            format_grid(
+                f"Decompression time overhead for {scheme} "
+                f"(%, paired, modeled hardware AES, size={BENCH_SIZE})",
+                list(TABLE_DATASETS), eb_labels, rows,
+            )
+        )
+        means[scheme] = sum(v for row in rows for v in row) / (
+            len(TABLE_DATASETS) * len(EBS)
+        )
+    emit("decompression_overhead", "\n\n".join(tables))
+
+    # Decryption is batched and the decode stage dominates, so every
+    # scheme stays close to the plain-SZ baseline.
+    for scheme, mean in means.items():
+        assert 95.0 < mean < 108.0, scheme
+
+    data = dataset_cache("t", size=BENCH_SIZE)
+    benchmark.pedantic(
+        lambda: _paired_decompress_overhead(data, "cmpr_encr", 1e-4, 1),
+        rounds=3, iterations=1,
+    )

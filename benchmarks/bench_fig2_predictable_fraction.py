@@ -1,0 +1,60 @@
+"""Fig. 2 — predictable-data size as a percentage of the compressed
+stream, and the predictable-point fraction per dataset/bound.
+
+The paper plots the quantization-array share for four datasets; the
+share is what motivates Encr-Quant ("encrypting the quantization array
+is a relatively light approach ... for datasets with a relatively small
+percentage of predictable data").
+"""
+
+from repro.bench.harness import EBS, dataset_cache
+from repro.bench.tables import format_grid
+from repro.sz import SZCompressor
+
+from conftest import BENCH_SIZE, TABLE_DATASETS, emit
+
+#: Fig. 2 uses four of the evaluation datasets.
+FIG2_DATASETS = ("cloudf48", "nyx", "q2", "qi")
+
+
+def test_fig2_quant_array_share(grid, eb_labels, benchmark):
+    share_rows = []
+    frac_rows = []
+    for name in FIG2_DATASETS:
+        shares = []
+        fracs = []
+        for eb in EBS:
+            m = grid[(name, "none", eb)]
+            stats = m.sz_stats
+            total = sum(stats.section_bytes.values())
+            shares.append(100.0 * stats.quant_array_bytes / total)
+            fracs.append(100.0 * stats.predictable_fraction)
+        share_rows.append(shares)
+        frac_rows.append(fracs)
+
+    emit(
+        "fig2_predictable_fraction",
+        format_grid(
+            "Fig. 2a: quantization array (tree+codes) as % of the "
+            f"pre-lossless stream (size={BENCH_SIZE})",
+            list(FIG2_DATASETS), eb_labels, share_rows, precision=2,
+        )
+        + "\n\n"
+        + format_grid(
+            "Fig. 2b: predictable points as % of all points",
+            list(FIG2_DATASETS), eb_labels, frac_rows, precision=2,
+        ),
+    )
+
+    by_name = dict(zip(FIG2_DATASETS, frac_rows))
+    # Paper: Nyx at 1e-7 is an extreme case with only ~7% predictable,
+    # while Q2/CLOUDf48 are predictability-dominated.
+    assert by_name["nyx"][0] < 35.0
+    assert by_name["nyx"][-1] > 90.0
+    assert by_name["q2"][-1] > 99.0
+
+    data = dataset_cache("nyx", size=BENCH_SIZE)
+    benchmark.pedantic(
+        lambda: SZCompressor(1e-5).compress(data).stats.predictable_fraction,
+        rounds=3, iterations=1,
+    )

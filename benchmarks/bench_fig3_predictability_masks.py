@@ -1,0 +1,51 @@
+"""Fig. 3 — binary images of Nyx (gray = unpredictable, black =
+predictable) at error bounds 1e-7 and 1e-3.
+
+Writes the central-slice masks as PGM images to
+``benchmarks/results/`` and checks the paper's visual claim: at 1e-7
+predictable (black) points are a scattered minority; at 1e-3 they
+dominate the image.
+"""
+
+import os
+
+import numpy as np
+
+from repro.bench.figures import mask_summary, predictability_mask, write_pgm
+from repro.bench.harness import dataset_cache
+from repro.bench.tables import format_comparison
+
+from conftest import BENCH_SIZE, RESULTS_DIR, emit
+
+
+def test_fig3_masks(benchmark):
+    data = np.asarray(dataset_cache("nyx", size=BENCH_SIZE))
+    summaries = {}
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    for eb, label in ((1e-7, "1e-7"), (1e-3, "1e-3")):
+        mask = predictability_mask(data, eb)
+        summaries[label] = mask_summary(mask)
+        write_pgm(
+            os.path.join(RESULTS_DIR, f"fig3_nyx_eb{label}.pgm"),
+            mask[mask.shape[0] // 2],
+        )
+
+    emit(
+        "fig3_predictability_masks",
+        format_comparison(
+            "Fig. 3: Nyx predictable-point fraction "
+            "(PGM slices in benchmarks/results/)",
+            [
+                ("eb=1e-7 (paper: ~7% predictable)", 0.072,
+                 summaries["1e-7"]["predictable_fraction"]),
+                ("eb=1e-3 (paper: ~96% predictable)", 0.96,
+                 summaries["1e-3"]["predictable_fraction"]),
+            ],
+        ),
+    )
+    assert summaries["1e-7"]["predictable_fraction"] < 0.35
+    assert summaries["1e-3"]["predictable_fraction"] > 0.90
+
+    benchmark.pedantic(
+        lambda: predictability_mask(data, 1e-3), rounds=3, iterations=1
+    )

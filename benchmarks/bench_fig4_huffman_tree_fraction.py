@@ -1,0 +1,48 @@
+"""Fig. 4 — serialized Huffman tree as a percentage of the
+quantization array (tree + codewords).
+
+Paper: "the Huffman tree comprises no more than 4.5% of the
+quantization array" (with Nyx's ~4.4% the largest).  At scaled-down
+data the tree share is inflated by the smaller codeword stream, so the
+reproduction target is the *ordering* (hard datasets have the largest
+tree share) and the smallness that makes Encr-Huffman cheap.
+"""
+
+from repro.bench.harness import EBS, dataset_cache
+from repro.bench.tables import format_grid
+from repro.sz import huffman
+from repro.sz.compressor import SZCompressor
+
+from conftest import BENCH_SIZE, TABLE_DATASETS, emit
+
+
+def test_fig4_tree_fraction(grid, eb_labels, benchmark):
+    rows = []
+    for name in TABLE_DATASETS:
+        rows.append([
+            100.0 * grid[(name, "none", eb)].sz_stats.tree_fraction_of_quant
+            for eb in EBS
+        ])
+    emit(
+        "fig4_huffman_tree_fraction",
+        format_grid(
+            "Fig. 4: serialized Huffman tree as % of the quantization "
+            f"array (size={BENCH_SIZE})",
+            list(TABLE_DATASETS), eb_labels, rows, precision=2,
+        ),
+    )
+    by_name = dict(zip(TABLE_DATASETS, rows))
+    # The tree never dominates the quantization array...
+    assert max(max(r) for r in rows) < 50.0
+    # ...and the easy datasets keep it far smaller than the hard ones
+    # at the loose end (few distinct codes -> tiny alphabet).
+    assert by_name["cloudf48"][-1] < by_name["nyx"][-1]
+
+    data = dataset_cache("t", size=BENCH_SIZE)
+    comp = SZCompressor(1e-4)
+
+    def tree_bytes():
+        frame = comp.compress(data)
+        return len(frame.sections["tree"])
+
+    benchmark.pedantic(tree_bytes, rounds=3, iterations=1)

@@ -1,0 +1,62 @@
+"""Fig. 5 — compression ratio of each scheme normalized to plain SZ.
+
+Paper shape: Cmpr-Encr and Encr-Huffman both stay above 0.99 of the
+baseline everywhere (largest dip ~0.26% on Nyx@1e-7), while Encr-Quant
+collapses on compressible datasets (QI/Q2 down to 5-20% of baseline,
+worst case ~0.01%) and is nearly free on hard datasets (Nyx).
+"""
+
+from repro.bench.harness import EBS, dataset_cache, measure_scheme
+from repro.bench.tables import format_grid
+from repro.core.metrics import normalized_cr
+
+from conftest import BENCH_SIZE, TABLE_DATASETS, emit
+
+SCHEMES = ("cmpr_encr", "encr_quant", "encr_huffman")
+
+
+def test_fig5_normalized_cr(grid, eb_labels, benchmark):
+    tables = []
+    values = {}
+    for scheme in SCHEMES:
+        rows = []
+        for name in TABLE_DATASETS:
+            row = []
+            for eb in EBS:
+                base = grid[(name, "none", eb)].cr
+                row.append(normalized_cr(grid[(name, scheme, eb)].cr, base))
+            rows.append(row)
+            values[(scheme, name)] = row
+        tables.append(
+            format_grid(
+                f"Fig. 5 ({scheme}): CR normalized to plain SZ "
+                f"(size={BENCH_SIZE})",
+                list(TABLE_DATASETS), eb_labels, rows, precision=4,
+            )
+        )
+    emit("fig5_normalized_cr", "\n\n".join(tables))
+
+    # Shape assertions, per the paper's Sec. V-C discussion.  At tiny
+    # scale the *fixed* per-container cost (CBC padding, zlib wrapper:
+    # tens of bytes) can be several percent of an ultra-compressed
+    # stream, so the >=99% proportional claim carries a 64-byte
+    # absolute allowance.
+    for name in TABLE_DATASETS:
+        for eb_idx, eb in enumerate(EBS):
+            base_bytes = grid[(name, "none", eb)].compressed_bytes
+            for scheme in ("encr_huffman", "cmpr_encr"):
+                got = grid[(name, scheme, eb)].compressed_bytes
+                assert got <= base_bytes / 0.99 + 64, (scheme, name, eb)
+    # Encr-Quant craters on the most compressible dataset...
+    assert min(values[("encr_quant", "qi")]) < 0.6
+    # ...hits hard data far less (paper: "greater impact on
+    # easy-to-compress datasets"), and is nearly free on Nyx at the
+    # unpredictable-dominated tight bound.
+    assert min(values[("encr_quant", "nyx")]) > 2 * min(values[("encr_quant", "qi")])
+    assert values[("encr_quant", "nyx")][0] > 0.9  # eb = 1e-7
+
+    data = dataset_cache("qi", size=BENCH_SIZE)
+    benchmark.pedantic(
+        lambda: measure_scheme(data, "encr_quant", 1e-4, repeats=1).cr,
+        rounds=3, iterations=1,
+    )

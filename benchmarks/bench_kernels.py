@@ -1,0 +1,80 @@
+"""Kernel-level throughput benchmarks (regression tracking).
+
+Not a paper artifact: these pin the performance of the hot kernels the
+whole system is built from, so optimization work (like the table-driven
+Huffman decoder rewrite) has a measured baseline.  pytest-benchmark's
+comparison mode (``--benchmark-autosave`` / ``--benchmark-compare``)
+turns these into a simple regression harness.
+"""
+
+import numpy as np
+import pytest
+
+from repro.crypto import batch, modes
+from repro.crypto.keyschedule import expand_key
+from repro.sz import huffman
+from repro.sz.intcodec import byteplane_decode, byteplane_encode
+from repro.sz.predictors import lorenzo_reconstruct, lorenzo_residuals
+
+EK = expand_key(bytes(range(16)))
+RNG = np.random.default_rng(0)
+
+
+@pytest.fixture(scope="module")
+def grid_q():
+    return RNG.integers(-1000, 1000, size=(64, 64, 64)).astype(np.int64)
+
+
+@pytest.fixture(scope="module")
+def skewed_values():
+    vals = RNG.zipf(1.6, size=200_000).astype(np.int64)
+    return np.clip(vals, 1, 1 << 18)
+
+
+def test_kernel_lorenzo_forward(benchmark, grid_q):
+    benchmark(lorenzo_residuals, grid_q)
+
+
+def test_kernel_lorenzo_inverse(benchmark, grid_q):
+    res = lorenzo_residuals(grid_q)
+    out = benchmark(lorenzo_reconstruct, res)
+    assert np.array_equal(out, grid_q)
+
+
+def test_kernel_huffman_encode(benchmark, skewed_values):
+    symbols, counts = np.unique(skewed_values, return_counts=True)
+    code = huffman.build_code(symbols, counts)
+    packed = benchmark(huffman.encode, skewed_values, code)
+    assert packed.n_bits > 0
+
+
+def test_kernel_huffman_decode(benchmark, skewed_values):
+    symbols, counts = np.unique(skewed_values, return_counts=True)
+    code = huffman.build_code(symbols, counts)
+    packed = huffman.encode(skewed_values, code)
+    out = benchmark.pedantic(
+        lambda: huffman.decode(packed, code, skewed_values.size),
+        rounds=3, iterations=1,
+    )
+    assert np.array_equal(out, skewed_values)
+
+
+def test_kernel_aes_batch_ecb(benchmark):
+    blocks = RNG.integers(0, 256, size=(4096, 16), dtype=np.uint8)
+    enc = benchmark(batch.encrypt_blocks, blocks, EK)
+    assert enc.shape == blocks.shape
+
+
+def test_kernel_aes_cbc_encrypt(benchmark):
+    payload = bytes(64 * 1024)
+    ct = benchmark.pedantic(
+        lambda: modes.cbc_encrypt(payload, EK, bytes(16)),
+        rounds=3, iterations=1,
+    )
+    assert len(ct) == 64 * 1024 + 16
+
+
+def test_kernel_byteplane(benchmark):
+    vals = RNG.integers(-(2**20), 2**20, size=100_000).astype(np.int64)
+    blob = benchmark(byteplane_encode, vals)
+    assert np.array_equal(byteplane_decode(blob), vals)

@@ -1,0 +1,54 @@
+"""Sec. V-G — security analysis numbers.
+
+Reproduces the quantitative claims: brute-forcing AES-128 at the
+paper's hypothetical 22x10^19 encryptions/second takes ~10^10 years;
+the effective 2^64 space of ref. [63] would fall in under a second
+(why the nominal 2^128 is what matters); the biclique shortcut is
+2^126.1 — "not feasible"; and the Huffman-tree guess space alone
+exceeds the AES key space for realistic alphabets.
+"""
+
+from repro.bench.tables import format_comparison
+from repro.security.keyspace import (
+    PAPER_TEST_RATE,
+    BruteForceModel,
+    biclique_complexity,
+    huffman_tree_guess_space,
+)
+
+from conftest import emit
+
+
+def test_secg_keyspace(benchmark):
+    full = BruteForceModel(128, PAPER_TEST_RATE)
+    effective = BruteForceModel(64, PAPER_TEST_RATE)
+    biclique = BruteForceModel(biclique_complexity(128), PAPER_TEST_RATE)
+
+    emit(
+        "secg_keyspace",
+        format_comparison(
+            "Sec. V-G: brute-force cost model "
+            f"(attacker rate {PAPER_TEST_RATE:.0e} enc/s)",
+            [
+                ("2^128 sweep (years; paper ~3.7e10)", 3.7e10,
+                 full.years_worst_case()),
+                ("2^64 effective sweep (seconds)", float("nan"),
+                 effective.seconds_worst_case()),
+                ("biclique 2^126.1 sweep (years)", float("nan"),
+                 biclique.years_worst_case()),
+                ("tree guess space, 5k symbols (log2)", float("nan"),
+                 huffman_tree_guess_space(5000)),
+            ],
+            labels=("paper", "computed"),
+        ),
+    )
+
+    # Same order of magnitude as the paper's quoted figure.
+    assert 1e10 < full.years_worst_case() < 1e11
+    assert effective.seconds_worst_case() < 1.0
+    assert biclique.is_infeasible()
+    assert huffman_tree_guess_space(5000) > 128.0
+
+    benchmark.pedantic(
+        lambda: BruteForceModel(128).years_expected(), rounds=5, iterations=100
+    )

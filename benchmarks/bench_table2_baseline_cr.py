@@ -1,0 +1,43 @@
+"""Table II — baseline compression ratio with no encryption.
+
+Paper anchors (full-size SDRBench data; ours is scaled + synthetic, so
+the *ordering* and per-column trends are the reproduction target —
+see EXPERIMENTS.md):
+
+    CLOUDf48  17.959 .. 2380.782       QI  67.931 .. 3654.457
+    Nyx        1.145 ..    3.082       T    3.076 ..    9.997
+"""
+
+from repro.bench.harness import EBS, dataset_cache, measure_scheme
+from repro.bench.tables import format_grid
+
+from conftest import BENCH_SIZE, TABLE_DATASETS, emit
+
+
+def test_table2_baseline_cr(grid, eb_labels, benchmark):
+    rows = [
+        [grid[(name, "none", eb)].cr for eb in EBS]
+        for name in TABLE_DATASETS
+    ]
+    emit(
+        "table2_baseline_cr",
+        format_grid(
+            "Table II: Baseline compression ratio with no encryption "
+            f"(size={BENCH_SIZE})",
+            list(TABLE_DATASETS),
+            eb_labels,
+            rows,
+        ),
+    )
+    # Paper shape checks: QI/CLOUDf48 easy, Nyx hard, CR rises with eb.
+    by_name = dict(zip(TABLE_DATASETS, rows))
+    assert min(by_name["qi"]) > max(by_name["nyx"])
+    assert by_name["cloudf48"][-1] > by_name["cloudf48"][0]
+    assert by_name["nyx"][-1] > by_name["nyx"][0]
+
+    # Benchmark kernel: one baseline compression of the hard dataset.
+    data = dataset_cache("nyx", size=BENCH_SIZE)
+    benchmark.pedantic(
+        lambda: measure_scheme(data, "none", 1e-4, repeats=1),
+        rounds=3, iterations=1,
+    )

@@ -1,0 +1,54 @@
+"""Table III — Cmpr-Encr compression-time overhead (% of plain SZ).
+
+Paper: always above 100% (the appended encryption pass is pure added
+work); 100.016%-105.9% across the grid, largest for hard-to-compress
+data at tight bounds (bigger streams to encrypt), smallest where the
+CR is huge (QI at 1e-3: 100.016%).
+
+Methodology here: paired, hardware-AES-modeled timing — see
+``repro.bench.harness.measure_overhead_paired`` and EXPERIMENTS.md.
+"""
+
+import numpy as np
+
+from repro.bench.harness import EBS, dataset_cache, measure_overhead_paired
+from repro.bench.tables import format_grid
+
+from conftest import BENCH_REPEATS, BENCH_SIZE, TABLE_DATASETS, emit
+
+
+def test_table3_overhead(eb_labels, benchmark):
+    rows = []
+    for name in TABLE_DATASETS:
+        data = np.asarray(dataset_cache(name, size=BENCH_SIZE))
+        rows.append([
+            measure_overhead_paired(
+                data, "cmpr_encr", eb, repeats=max(BENCH_REPEATS, 3)
+            )
+            for eb in EBS
+        ])
+    emit(
+        "table3_overhead_cmpr_encr",
+        format_grid(
+            "Table III: time overhead for Cmpr-Encr when compressing "
+            f"(%, paired, modeled hardware AES, size={BENCH_SIZE})",
+            list(TABLE_DATASETS), eb_labels, rows,
+        ),
+    )
+    by_name = dict(zip(TABLE_DATASETS, rows))
+    flat = [v for row in rows for v in row]
+    # Pure added work: the overhead sits above 100% across the grid.
+    assert sum(flat) / len(flat) > 100.0
+    assert min(flat) > 98.5  # paired noise floor
+    assert max(flat) < 115.0  # encryption is an add-on, not a blow-up
+    # Hard-to-compress data at tight bounds pays the most (paper: Nyx
+    # ~105.9% at 1e-7); the ultra-compressible QI pays the least.
+    assert by_name["nyx"][0] > by_name["qi"][-1]
+
+    data = dataset_cache("nyx", size=BENCH_SIZE)
+    benchmark.pedantic(
+        lambda: measure_overhead_paired(
+            np.asarray(data), "cmpr_encr", 1e-7, repeats=1
+        ),
+        rounds=3, iterations=1,
+    )

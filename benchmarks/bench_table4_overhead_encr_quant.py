@@ -1,0 +1,70 @@
+"""Table IV — Encr-Quant compression-time overhead (% of plain SZ).
+
+Paper: the least stable scheme — up to ~133% on compressible datasets
+(QI, CLOUDf48), whose large codeword streams must be encrypted *and*
+whose randomized bytes slow their zlib pass, but close to Cmpr-Encr on
+unpredictable-dominated data like Nyx.
+
+Known substrate difference (recorded in EXPERIMENTS.md): CPython's
+zlib traverses *incompressible* (ciphertext) input faster than
+compressible input at these sizes, the opposite sign from the authors'
+measurement — so our Encr-Quant cells hover near (sometimes just
+under) 100% instead of reaching 133%.  The encryption-volume part of
+the effect (Encr-Quant feeds more bytes to AES than Cmpr-Encr on
+predictable-dominated data, Sec. V-D) is reproduced and asserted via
+the schemes' ``encrypted_bytes`` accounting.
+"""
+
+import numpy as np
+
+from repro.bench.harness import EBS, dataset_cache, measure_overhead_paired
+from repro.bench.tables import format_grid
+from repro.core.schemes import SCHEMES
+from repro.sz.compressor import SZCompressor
+
+from conftest import BENCH_REPEATS, BENCH_SIZE, TABLE_DATASETS, emit
+
+
+def test_table4_overhead(eb_labels, benchmark):
+    rows = []
+    for name in TABLE_DATASETS:
+        data = np.asarray(dataset_cache(name, size=BENCH_SIZE))
+        rows.append([
+            measure_overhead_paired(
+                data, "encr_quant", eb, repeats=max(BENCH_REPEATS, 3)
+            )
+            for eb in EBS
+        ])
+    emit(
+        "table4_overhead_encr_quant",
+        format_grid(
+            "Table IV: time overhead for Encr-Quant when compressing "
+            f"(%, paired, modeled hardware AES, size={BENCH_SIZE})",
+            list(TABLE_DATASETS), eb_labels, rows,
+        ),
+    )
+    flat = [v for row in rows for v in row]
+    # Cells stay in a sane band (see the module docstring for why the
+    # paper's 133% spikes do not appear on this substrate).
+    assert min(flat) > 90.0
+    assert max(flat) < 120.0
+
+    # The *encryption volume* half of the paper's argument: on a
+    # predictable-dominated dataset, Encr-Quant encrypts more bytes
+    # than Cmpr-Encr's entire compressed stream (Sec. V-D's 8.8 MB vs
+    # 5.3 MB example for CLOUDf48).
+    data = np.asarray(dataset_cache("cloudf48", size=BENCH_SIZE))
+    frame = SZCompressor(1e-7).compress(data)
+    from repro.sz.lossless import compress as zlib_compress
+    from repro.core.container import pack_sections
+
+    quant_bytes = SCHEMES["encr_quant"].encrypted_bytes(frame.sections)
+    cmpr_encr_stream = len(zlib_compress(pack_sections(frame.sections)))
+    assert quant_bytes > cmpr_encr_stream
+
+    benchmark.pedantic(
+        lambda: measure_overhead_paired(
+            data, "encr_quant", 1e-4, repeats=1
+        ),
+        rounds=3, iterations=1,
+    )

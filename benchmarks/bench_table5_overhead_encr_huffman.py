@@ -1,0 +1,83 @@
+"""Table V — Encr-Huffman compression-time overhead (% of plain SZ).
+
+Paper: the stable, light scheme — 89.6%-99.5% (i.e. *faster* than
+plain SZ in most cells, best case saving 6.5%): only the small tree is
+encrypted, and the randomized tree bytes let zlib skip a section it
+would otherwise grind on.
+
+Our default Encr-Huffman deflates the tree before encrypting it (a
+scale-compensating choice that protects the CR — see DESIGN.md §5), so
+its cells land at ~100% ± 1 rather than below; the
+``encr_huffman_raw`` variant (the literal Algorithm-1 pipeline) is
+measured alongside and reproduces the paper's below-100% behaviour
+where the ciphertext tree lets zlib finish sooner.
+"""
+
+import numpy as np
+
+from repro.bench.harness import EBS, dataset_cache, measure_overhead_paired
+from repro.bench.tables import format_grid
+
+from conftest import BENCH_REPEATS, BENCH_SIZE, TABLE_DATASETS, emit
+
+
+def _grid_for(scheme):
+    rows = []
+    for name in TABLE_DATASETS:
+        data = np.asarray(dataset_cache(name, size=BENCH_SIZE))
+        rows.append([
+            measure_overhead_paired(
+                data, scheme, eb, repeats=max(BENCH_REPEATS, 3)
+            )
+            for eb in EBS
+        ])
+    return rows
+
+
+def test_table5_overhead(eb_labels, benchmark):
+    rows = _grid_for("encr_huffman")
+    raw_rows = _grid_for("encr_huffman_raw")
+    emit(
+        "table5_overhead_encr_huffman",
+        format_grid(
+            "Table V: time overhead for Encr-Huffman when compressing "
+            f"(%, paired, modeled hardware AES, size={BENCH_SIZE})",
+            list(TABLE_DATASETS), eb_labels, rows,
+        )
+        + "\n\n"
+        + format_grid(
+            "  (encr_huffman_raw: the literal Algorithm-1 pipeline, "
+            "no tree pre-deflate)",
+            list(TABLE_DATASETS), eb_labels, raw_rows,
+        ),
+    )
+    flat = [v for row in rows for v in row]
+    raw_flat = [v for row in raw_rows for v in row]
+    mean = sum(flat) / len(flat)
+    raw_mean = sum(raw_flat) / len(raw_flat)
+    # Near-baseline cost, clearly under the other schemes' territory.
+    assert 97.0 < mean < 103.0
+    assert max(flat) < 110.0
+    # The raw variant skips the tree-deflate work, so it must not be
+    # slower than the default on average (this is the paper's
+    # below-baseline mechanism at work).
+    assert raw_mean <= mean + 0.5
+
+    data = dataset_cache("t", size=BENCH_SIZE)
+    benchmark.pedantic(
+        lambda: measure_overhead_paired(
+            np.asarray(data), "encr_huffman", 1e-4, repeats=1
+        ),
+        rounds=3, iterations=1,
+    )
+
+
+def test_encr_huffman_cheaper_than_cmpr_encr_on_hard_data(eb_labels):
+    """The paper's bottom line where the cost gap is real: on
+    hard-to-compress data at tight bounds, Cmpr-Encr encrypts the
+    near-incompressible full stream while Encr-Huffman touches only
+    the tree."""
+    data = np.asarray(dataset_cache("nyx", size=BENCH_SIZE))
+    huff = measure_overhead_paired(data, "encr_huffman", 1e-7, repeats=5)
+    full = measure_overhead_paired(data, "cmpr_encr", 1e-7, repeats=5)
+    assert huff < full

@@ -1,0 +1,79 @@
+"""Table VI — NIST SP800-22 pass rates.
+
+The paper's protocol: the compressed-encrypted file is split into 12
+bitstreams; each runs all 15 tests; the table reports per-test pass
+rates.  Cases:
+
+* Encr-Quant on Nyx @ 1e-7 (only ~7% of data encrypted): fails most
+  tests (paper column 1: 50-100%);
+* Encr-Quant on Q2 @ 1e-6 (~85% encrypted): passes everything;
+* Cmpr-Encr: passes everything (fully ciphertext);
+* Encr-Huffman: fails (only the tiny tree is ciphertext).
+"""
+
+import math
+
+import numpy as np
+
+from repro.bench.harness import KEY, dataset_cache
+from repro.core.pipeline import SecureCompressor
+from repro.security.nist import run_suite
+
+from conftest import emit
+
+#: NIST needs long streams; always use the 'small' presets here.
+NIST_SIZE = "small"
+N_STREAMS = 12
+
+
+def _container(name, scheme, eb, seed=5):
+    data = dataset_cache(name, size=NIST_SIZE)
+    sc = SecureCompressor(
+        scheme, eb, key=KEY, random_state=np.random.default_rng(seed)
+    )
+    return sc.compress(np.asarray(data)).container
+
+
+def _mean_rate(result):
+    rates = [r for r in result.pass_rates().values() if not math.isnan(r)]
+    return sum(rates) / len(rates)
+
+
+def test_table6_nist(benchmark):
+    cases = {
+        "Encr-Quant / Nyx @1e-7": _container("nyx", "encr_quant", 1e-7),
+        "Encr-Quant / Q2 @1e-6": _container("q2", "encr_quant", 1e-6),
+        "Cmpr-Encr / Q2 @1e-6": _container("q2", "cmpr_encr", 1e-6),
+        "Encr-Huffman / Q2 @1e-6": _container("q2", "encr_huffman", 1e-6),
+    }
+    results = {
+        label: run_suite(blob, n_streams=N_STREAMS)
+        for label, blob in cases.items()
+    }
+    emit(
+        "table6_nist",
+        "\n\n".join(
+            f"Table VI — {label} ({N_STREAMS} streams)\n"
+            + result.format_table()
+            for label, result in results.items()
+        ),
+    )
+
+    # Paper shape: Cmpr-Encr fully random; Encr-Quant random only when
+    # the encrypted fraction dominates; Encr-Huffman not random.
+    assert _mean_rate(results["Cmpr-Encr / Q2 @1e-6"]) > 0.95
+    assert _mean_rate(results["Encr-Quant / Q2 @1e-6"]) > 0.9
+    assert _mean_rate(results["Encr-Quant / Nyx @1e-7"]) < 0.9
+    assert _mean_rate(results["Encr-Huffman / Q2 @1e-6"]) < 0.5
+    assert (
+        _mean_rate(results["Encr-Quant / Nyx @1e-7"])
+        < _mean_rate(results["Encr-Quant / Q2 @1e-6"])
+    )
+
+    # Benchmark kernel: the suite on one modest ciphertext stream.
+    blob = cases["Cmpr-Encr / Q2 @1e-6"][: 40_000]
+    benchmark.pedantic(
+        lambda: run_suite(blob, n_streams=2,
+                          tests=("frequency", "runs", "serial")),
+        rounds=3, iterations=1,
+    )

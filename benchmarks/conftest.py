@@ -1,0 +1,62 @@
+"""Shared infrastructure for the table/figure benchmarks.
+
+Each ``bench_*.py`` module reproduces one artifact of the paper's
+evaluation (see DESIGN.md §4).  The expensive dataset × error-bound ×
+scheme sweep is computed once per session here and shared, so the whole
+directory runs in minutes; per-module pytest-benchmark tests then time
+one representative kernel each.
+
+Every module *emits* its paper-shaped table through :func:`emit`, which
+writes ``benchmarks/results/<name>.txt`` and prints it (visible with
+``pytest -s`` and recorded by the results files either way).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench.harness import EBS, sweep
+
+#: All six datasets of Tables II-V (wf48 appears in Table I but not in
+#: the evaluation tables; Fig. 2's four datasets are a subset).
+TABLE_DATASETS = ("cloudf48", "nyx", "q2", "height", "qi", "t")
+
+#: The three bandwidth datasets of Fig. 6 (Sec. V-D's selection).
+BANDWIDTH_DATASETS = ("t", "cloudf48", "nyx")
+
+ALL_SCHEMES = ("none", "cmpr_encr", "encr_quant", "encr_huffman")
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: Scale knobs: the full grid at "tiny" finishes quickly; bump to
+#: "small"/"medium" (env var) for closer-to-paper statistics.
+BENCH_SIZE = os.environ.get("REPRO_BENCH_SIZE", "tiny")
+BENCH_REPEATS = int(os.environ.get("REPRO_BENCH_REPEATS", "3"))
+
+
+def emit(name: str, text: str) -> None:
+    """Record a result table to disk and echo it."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w") as fh:
+        fh.write(text + "\n")
+    print(f"\n{text}\n[written to {path}]")
+
+
+@pytest.fixture(scope="session")
+def grid():
+    """The full (dataset, scheme, eb) measurement grid, computed once."""
+    return sweep(
+        TABLE_DATASETS,
+        ALL_SCHEMES,
+        EBS,
+        size=BENCH_SIZE,
+        repeats=BENCH_REPEATS,
+    )
+
+
+@pytest.fixture(scope="session")
+def eb_labels():
+    return [f"{eb:.0e}" for eb in EBS]

@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Run every table/figure benchmark and print the collected results.
+
+Equivalent to ``pytest benchmarks/ --benchmark-only`` followed by
+``cat benchmarks/results/*.txt`` — convenient for regenerating
+EXPERIMENTS.md's numbers in one shot::
+
+    python benchmarks/run_all.py [--size tiny|small|medium]
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import os
+import subprocess
+import sys
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--size", default="tiny",
+                        choices=("tiny", "small", "medium"))
+    parser.add_argument("--repeats", type=int, default=3)
+    args = parser.parse_args()
+
+    here = os.path.dirname(os.path.abspath(__file__))
+    env = dict(os.environ,
+               REPRO_BENCH_SIZE=args.size,
+               REPRO_BENCH_REPEATS=str(args.repeats))
+    rc = subprocess.call(
+        [sys.executable, "-m", "pytest", here, "--benchmark-only", "-q"],
+        env=env,
+    )
+    print("\n" + "=" * 72)
+    for path in sorted(glob.glob(os.path.join(here, "results", "*.txt"))):
+        print(f"\n### {os.path.basename(path)}\n")
+        with open(path) as fh:
+            print(fh.read())
+    return rc
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Secure gradient compression for federated learning (paper Sec. III-C).
+
+"The combination of compression and encryption can be used to
+accelerate model transmission while also preventing unauthorized
+alterations."  This example simulates exactly that: several clients
+train a logistic-regression model on private shards; every round each
+client ships its gradient to the server *compressed with an error
+bound and protected with Encr-Huffman + an authentication tag*.  The
+run compares the secured-compressed federation against a plaintext
+float64 baseline — accuracy must match while transmission shrinks.
+
+Run:  python examples/federated_gradients.py
+"""
+
+import numpy as np
+
+from repro import SecureCompressor
+from repro.crypto.aes import derive_key
+
+N_CLIENTS = 4
+ROUNDS = 30
+FEATURES = 64
+SAMPLES_PER_CLIENT = 400
+EB = 1e-4
+LR = 0.5
+
+
+def make_shards(rng):
+    true_w = rng.standard_normal(FEATURES)
+    shards = []
+    for _ in range(N_CLIENTS):
+        x = rng.standard_normal((SAMPLES_PER_CLIENT, FEATURES))
+        logits = x @ true_w + 0.3 * rng.standard_normal(SAMPLES_PER_CLIENT)
+        y = (logits > 0).astype(np.float64)
+        shards.append((x, y))
+    return shards, true_w
+
+
+def gradient(w, x, y):
+    pred = 1.0 / (1.0 + np.exp(-(x @ w)))
+    return x.T @ (pred - y) / len(y)
+
+
+def accuracy(w, shards):
+    correct = total = 0
+    for x, y in shards:
+        pred = (x @ w) > 0
+        correct += int((pred == y).sum())
+        total += len(y)
+    return correct / total
+
+
+def federate(shards, channel):
+    """One federation; ``channel(grad) -> (grad', bytes_on_wire)``."""
+    w = np.zeros(FEATURES)
+    wire_bytes = 0
+    for _ in range(ROUNDS):
+        agg = np.zeros(FEATURES)
+        for x, y in shards:
+            g = gradient(w, x, y)
+            g_recv, nbytes = channel(g)
+            agg += g_recv
+            wire_bytes += nbytes
+        w -= LR * agg / N_CLIENTS
+    return w, wire_bytes
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    shards, _ = make_shards(rng)
+
+    def plain_channel(g):
+        return g, g.nbytes
+
+    sc = SecureCompressor(
+        scheme="encr_huffman",
+        error_bound=EB,
+        key=derive_key("federation-round-key"),
+        authenticate=True,   # gradients must not be silently altered
+    )
+
+    def secure_channel(g):
+        result = sc.compress(np.ascontiguousarray(g))
+        restored = sc.decompress(result.container)
+        return restored, len(result.container)
+
+    w_plain, bytes_plain = federate(shards, plain_channel)
+    w_secure, bytes_secure = federate(shards, secure_channel)
+
+    acc_plain = accuracy(w_plain, shards)
+    acc_secure = accuracy(w_secure, shards)
+    print(f"rounds={ROUNDS}, clients={N_CLIENTS}, eb={EB:g}")
+    print(f"plaintext federation : acc={acc_plain:.4f}, "
+          f"{bytes_plain / 1024:.1f} KiB on the wire")
+    print(f"secured federation   : acc={acc_secure:.4f}, "
+          f"{bytes_secure / 1024:.1f} KiB on the wire "
+          f"({bytes_plain / bytes_secure:.2f}x smaller)")
+    print(f"weight drift         : "
+          f"{np.abs(w_plain - w_secure).max():.2e} (bounded per round)")
+    assert abs(acc_plain - acc_secure) < 0.01
+
+
+if __name__ == "__main__":
+    main()

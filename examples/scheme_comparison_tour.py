@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""A guided tour of the three combination schemes.
+
+Compresses an easy dataset (Q2 humidity) and a hard one (Nyx dark
+matter) under all four methods and prints the trade-off table the
+paper's Section V builds up to: Cmpr-Encr buys full-stream randomness
+with bandwidth, Encr-Quant is a gamble that depends on the data, and
+Encr-Huffman is the light-weight sweet spot.
+
+Run:  python examples/scheme_comparison_tour.py
+"""
+
+import numpy as np
+
+from repro.bench.harness import measure_scheme
+from repro.bench.tables import format_grid
+from repro.datasets import generate
+from repro.security.entropy import shannon_entropy
+from repro.core.pipeline import SecureCompressor
+
+KEY = bytes(range(16))
+EB = 1e-4
+SCHEMES = ("none", "cmpr_encr", "encr_quant", "encr_huffman")
+
+
+def tour(name: str) -> None:
+    data = generate(name, size="tiny")
+    rows = []
+    for scheme in SCHEMES:
+        m = measure_scheme(data, scheme, EB, repeats=3, key=KEY)
+        sc = SecureCompressor(scheme, EB,
+                              key=KEY if scheme != "none" else None)
+        blob = sc.compress(np.asarray(data)).container
+        rows.append([
+            m.cr,
+            m.compress_bw,
+            m.decompress_bw,
+            m.encrypted_bytes / 1024.0,
+            shannon_entropy(blob),
+        ])
+    print()
+    print(format_grid(
+        f"{name} @ eb={EB:g} — the paper's trade-off space",
+        list(SCHEMES),
+        ["CR", "comp MB/s", "decomp MB/s", "AES KiB", "entropy b/B"],
+        rows,
+        corner="Scheme",
+        precision=2,
+    ))
+
+
+def main() -> None:
+    for name in ("q2", "nyx"):
+        tour(name)
+    print(
+        "\nReading the tables:\n"
+        "  * encr_quant's CR collapses on q2 (compressible) but not on\n"
+        "    nyx — the paper's central Encr-Quant caveat;\n"
+        "  * encr_huffman encrypts a few KiB at most and stays at the\n"
+        "    baseline CR and bandwidth;\n"
+        "  * cmpr_encr's output entropy is ~8 bits/byte (fully random),\n"
+        "    the others' streams stay structured."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,170 @@
+"""Multi-field secure archives.
+
+Real simulation outputs are bundles of named fields (the Hurricane
+Isabel release alone carries CLOUDf48, Wf48, ...).  A
+:class:`SecureArchive` maps field names to SECZ containers inside one
+file, each field compressed under its own error bound but one key and
+scheme for the bundle — the shape a lab's archival job actually has.
+
+Format::
+
+    'SECB' | u32 field count
+    | per field: u16 name length, name utf-8, u64 container length
+    | containers back-to-back
+
+The index is plaintext by design (file names rarely need secrecy and
+the index enables partial reads); everything sensitive lives inside
+the per-field containers, which carry their own scheme protection and
+optional authentication.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro.core.pipeline import SecureCompressor
+from repro.sz.quantizer import ErrorBound
+
+__all__ = ["SecureArchive"]
+
+_MAGIC = b"SECB"
+_HEAD = struct.Struct("<4sI")
+
+
+class SecureArchive:
+    """Bundle many named fields into one protected archive.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> arch = SecureArchive(scheme="encr_huffman", key=bytes(16))
+    >>> fields = {"t": np.zeros((8, 8), np.float32),
+    ...           "q": np.ones((4, 4), np.float32)}
+    >>> blob = arch.pack(fields, error_bounds={"t": 1e-3, "q": 1e-4})
+    >>> sorted(arch.index(blob))
+    ['q', 't']
+    >>> arch.unpack_field(blob, "q").shape
+    (4, 4)
+    """
+
+    def __init__(
+        self,
+        scheme: str = "encr_huffman",
+        *,
+        key: bytes | None = None,
+        cipher_mode: str = "cbc",
+        authenticate: bool = False,
+        random_state: np.random.Generator | None = None,
+    ) -> None:
+        self._kwargs = dict(
+            scheme=scheme,
+            key=key,
+            cipher_mode=cipher_mode,
+            authenticate=authenticate,
+            random_state=random_state,
+        )
+
+    def _compressor(self, eb: float | ErrorBound) -> SecureCompressor:
+        return SecureCompressor(
+            self._kwargs["scheme"],
+            eb,
+            key=self._kwargs["key"],
+            cipher_mode=self._kwargs["cipher_mode"],
+            authenticate=self._kwargs["authenticate"],
+            random_state=self._kwargs["random_state"],
+        )
+
+    # ------------------------------------------------------------------
+
+    def pack(
+        self,
+        fields: dict[str, np.ndarray],
+        error_bounds: dict[str, float | ErrorBound] | float = 1e-3,
+    ) -> bytes:
+        """Compress and protect every field into one archive blob.
+
+        ``error_bounds`` is either one bound for all fields or a
+        per-field mapping (every field must then be present).
+        """
+        if not fields:
+            raise ValueError("archive needs at least one field")
+        if isinstance(error_bounds, dict):
+            missing = set(fields) - set(error_bounds)
+            if missing:
+                raise ValueError(f"missing error bounds for: {sorted(missing)}")
+        entries = []
+        containers = []
+        for name, data in fields.items():
+            encoded = name.encode("utf-8")
+            if not 1 <= len(encoded) <= 65535:
+                raise ValueError(f"bad field name {name!r}")
+            eb = (
+                error_bounds[name]
+                if isinstance(error_bounds, dict)
+                else error_bounds
+            )
+            container = self._compressor(eb).compress(data).container
+            entries.append(
+                struct.pack("<H", len(encoded)) + encoded
+                + struct.pack("<Q", len(container))
+            )
+            containers.append(container)
+        return (
+            _HEAD.pack(_MAGIC, len(entries))
+            + b"".join(entries)
+            + b"".join(containers)
+        )
+
+    @staticmethod
+    def index(blob: bytes) -> dict[str, tuple[int, int]]:
+        """Parse the plaintext index: ``{name: (offset, length)}``."""
+        if len(blob) < _HEAD.size:
+            raise ValueError("archive shorter than its header")
+        magic, count = _HEAD.unpack_from(blob)
+        if magic != _MAGIC:
+            raise ValueError("bad magic; not a SECB archive")
+        offset = _HEAD.size
+        names = []
+        lengths = []
+        for _ in range(count):
+            if offset + 2 > len(blob):
+                raise ValueError("truncated archive index")
+            (name_len,) = struct.unpack_from("<H", blob, offset)
+            offset += 2
+            name = blob[offset : offset + name_len].decode("utf-8")
+            offset += name_len
+            if offset + 8 > len(blob):
+                raise ValueError("truncated archive index")
+            (length,) = struct.unpack_from("<Q", blob, offset)
+            offset += 8
+            names.append(name)
+            lengths.append(length)
+        index: dict[str, tuple[int, int]] = {}
+        for name, length in zip(names, lengths):
+            if name in index:
+                raise ValueError(f"duplicate field {name!r}")
+            index[name] = (offset, length)
+            offset += length
+        if offset != len(blob):
+            raise ValueError("archive length does not match its index")
+        return index
+
+    def unpack_field(self, blob: bytes, name: str) -> np.ndarray:
+        """Decompress a single field (partial read: only its bytes)."""
+        index = self.index(blob)
+        try:
+            offset, length = index[name]
+        except KeyError:
+            raise ValueError(
+                f"archive has no field {name!r}; fields: {sorted(index)}"
+            ) from None
+        container = blob[offset : offset + length]
+        # The bound travels inside the container; any placeholder works
+        # for the reader configuration.
+        return self._compressor(1.0).decompress(container)
+
+    def unpack(self, blob: bytes) -> dict[str, np.ndarray]:
+        """Decompress every field."""
+        return {name: self.unpack_field(blob, name) for name in self.index(blob)}

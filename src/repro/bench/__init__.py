@@ -1,0 +1,34 @@
+"""Benchmark harness shared by every table/figure reproduction.
+
+The modules here are *library* code (importable, unit-tested); the
+``benchmarks/`` directory contains the thin pytest-benchmark drivers
+that call into them and print the paper-shaped tables.
+
+* :mod:`repro.bench.harness` — dataset caching, scheme measurement,
+  eb/dataset sweeps.
+* :mod:`repro.bench.tables` — ASCII grid/series formatting that mirrors
+  the paper's table layout.
+* :mod:`repro.bench.figures` — PGM mask dumps (Fig. 3) and ASCII bar
+  series for the figure-shaped results.
+"""
+
+from repro.bench.harness import (
+    EBS,
+    SCHEME_LABELS,
+    SchemeMeasurement,
+    dataset_cache,
+    measure_scheme,
+    sweep,
+)
+from repro.bench.tables import format_grid, format_series
+
+__all__ = [
+    "EBS",
+    "SCHEME_LABELS",
+    "SchemeMeasurement",
+    "dataset_cache",
+    "measure_scheme",
+    "sweep",
+    "format_grid",
+    "format_series",
+]

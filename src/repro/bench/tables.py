@@ -1,0 +1,100 @@
+"""ASCII table / series rendering in the paper's layout.
+
+Every benchmark prints its result through these helpers so the console
+output of ``pytest benchmarks/`` reads like the paper's tables, and
+EXPERIMENTS.md can paste the output verbatim.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["format_grid", "format_series", "format_comparison"]
+
+
+def _fmt(value: float, precision: int) -> str:
+    if value != value:  # NaN
+        return "n/a"
+    if abs(value) >= 1e6:
+        return f"{value:.3e}"
+    return f"{value:.{precision}f}"
+
+
+def format_grid(
+    title: str,
+    row_labels: Sequence[str],
+    col_labels: Sequence[str],
+    values: Sequence[Sequence[float]],
+    *,
+    corner: str = "Dataset",
+    precision: int = 3,
+) -> str:
+    """Render a row x column grid like the paper's Tables II-V."""
+    if len(values) != len(row_labels):
+        raise ValueError("values must have one row per row label")
+    for row in values:
+        if len(row) != len(col_labels):
+            raise ValueError("every row needs one value per column label")
+    col_width = max(
+        [len(str(c)) for c in col_labels]
+        + [precision + 6]
+    ) + 2
+    row_width = max(len(corner), *(len(r) for r in row_labels)) + 2
+    lines = [title]
+    header = f"{corner:<{row_width}}" + "".join(
+        f"{str(c):>{col_width}}" for c in col_labels
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for label, row in zip(row_labels, values):
+        cells = "".join(f"{_fmt(v, precision):>{col_width}}" for v in row)
+        lines.append(f"{label:<{row_width}}{cells}")
+    return "\n".join(lines)
+
+
+def format_series(
+    title: str,
+    x_labels: Sequence[str],
+    series: dict[str, Sequence[float]],
+    *,
+    precision: int = 2,
+    bar: bool = False,
+    bar_width: int = 40,
+) -> str:
+    """Render named series over a shared x-axis (the figure shape).
+
+    With ``bar=True`` adds a proportional ASCII bar per cell, which is
+    enough to eyeball the figure shapes in a terminal.
+    """
+    lines = [title]
+    vmax = max(
+        (v for vals in series.values() for v in vals if v == v), default=1.0
+    )
+    label_width = max(len(name) for name in series) + 2
+    for name, vals in series.items():
+        if len(vals) != len(x_labels):
+            raise ValueError(f"series {name!r} length mismatch")
+        lines.append(f"{name}:")
+        for x, v in zip(x_labels, vals):
+            cell = f"  {str(x):>10}  {_fmt(v, precision):>12}"
+            if bar and v == v and vmax > 0:
+                cell += "  " + "#" * max(1, int(bar_width * v / vmax))
+            lines.append(cell)
+    _ = label_width
+    return "\n".join(lines)
+
+
+def format_comparison(
+    title: str,
+    rows: Sequence[tuple[str, float, float]],
+    *,
+    labels: tuple[str, str] = ("paper", "measured"),
+    precision: int = 3,
+) -> str:
+    """Two-column paper-vs-measured table for EXPERIMENTS.md."""
+    lines = [title, f"{'case':<28}{labels[0]:>14}{labels[1]:>14}"]
+    for name, paper, measured in rows:
+        lines.append(
+            f"{name:<28}{_fmt(paper, precision):>14}{_fmt(measured, precision):>14}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,284 @@
+"""``secz`` — command-line front end for the secure compressor.
+
+Subcommands::
+
+    secz compress       INPUT OUTPUT --shape Z,Y,X --eb 1e-3 --scheme encr_huffman
+    secz decompress     INPUT OUTPUT
+    secz inspect        INPUT
+    secz nist           INPUT [--streams 12]
+    secz datasets
+    secz advise         INPUT [--shape Z,Y,X] --eb 1e-3 [--randomness]
+    secz img-compress   INPUT.npy OUTPUT --quality 80
+    secz img-decompress INPUT OUTPUT.npy
+
+Raw inputs are SDRBench-style headerless float32 ``.bin`` files (or
+``.npy``); keys come from ``--key-hex`` (32 hex chars) or a passphrase
+via ``--passphrase`` (PBKDF2-derived).  ``secz datasets`` writes the
+synthetic evaluation fields to disk for ad-hoc experimentation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.core.container import parse_container
+from repro.core.pipeline import SecureCompressor
+from repro.core.schemes import SCHEMES, get_scheme
+from repro.crypto.aes import derive_key
+from repro.datasets import generate
+from repro.datasets.io import load_field, save_field
+from repro.datasets.registry import DATASETS
+from repro.security.nist import run_suite
+
+__all__ = ["main", "build_parser"]
+
+
+def _parse_shape(text: str) -> tuple[int, ...]:
+    try:
+        dims = tuple(int(part) for part in text.split(","))
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"bad shape {text!r}") from None
+    if not dims or any(d < 1 for d in dims):
+        raise argparse.ArgumentTypeError(f"bad shape {text!r}")
+    return dims
+
+
+def _key_from_args(args: argparse.Namespace) -> bytes | None:
+    if getattr(args, "key_hex", None):
+        key = bytes.fromhex(args.key_hex)
+        if len(key) != 16:
+            raise SystemExit("--key-hex must be exactly 32 hex characters")
+        return key
+    if getattr(args, "passphrase", None):
+        return derive_key(args.passphrase)
+    return None
+
+
+def _load_input(path: str, shape: tuple[int, ...] | None) -> np.ndarray:
+    if path.endswith(".npy"):
+        return np.load(path)
+    if shape is None:
+        raise SystemExit("raw .bin input requires --shape")
+    return load_field(path, shape)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``secz`` argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="secz",
+        description="Secure error-bounded lossy compression (SZ + AES-128).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_c = sub.add_parser("compress", help="compress and protect a field")
+    p_c.add_argument("input")
+    p_c.add_argument("output")
+    p_c.add_argument("--shape", type=_parse_shape, default=None,
+                     help="comma-separated dims for raw .bin input")
+    p_c.add_argument("--eb", type=float, default=1e-3,
+                     help="absolute error bound (default 1e-3)")
+    p_c.add_argument("--scheme", choices=sorted(SCHEMES), default="encr_huffman")
+    p_c.add_argument("--mode", choices=("cbc", "ctr"), default="cbc")
+    p_c.add_argument("--key-hex", help="16-byte AES key as 32 hex chars")
+    p_c.add_argument("--passphrase", help="derive the key from a passphrase")
+
+    p_d = sub.add_parser("decompress", help="restore a .secz container")
+    p_d.add_argument("input")
+    p_d.add_argument("output", help=".npy or .bin output path")
+    p_d.add_argument("--key-hex")
+    p_d.add_argument("--passphrase")
+
+    p_i = sub.add_parser("inspect", help="print container metadata")
+    p_i.add_argument("input")
+
+    p_n = sub.add_parser("nist", help="run SP800-22 on a file's bytes")
+    p_n.add_argument("input")
+    p_n.add_argument("--streams", type=int, default=12)
+
+    p_g = sub.add_parser("datasets", help="list / write synthetic datasets")
+    p_g.add_argument("--write", metavar="DIR", default=None,
+                     help="write every dataset as .bin into DIR")
+    p_g.add_argument("--size", choices=("tiny", "small", "medium"),
+                     default="small")
+
+    p_a = sub.add_parser("advise",
+                         help="recommend a scheme for a dataset")
+    p_a.add_argument("input")
+    p_a.add_argument("--shape", type=_parse_shape, default=None)
+    p_a.add_argument("--eb", type=float, default=1e-3)
+    p_a.add_argument("--randomness", action="store_true",
+                     help="the whole stream must pass randomness tests")
+
+    p_ic = sub.add_parser("img-compress",
+                          help="compress a grayscale image (.npy)")
+    p_ic.add_argument("input")
+    p_ic.add_argument("output")
+    p_ic.add_argument("--quality", type=int, default=75)
+    p_ic.add_argument("--scheme", choices=sorted(SCHEMES),
+                      default="encr_huffman")
+    p_ic.add_argument("--key-hex")
+    p_ic.add_argument("--passphrase")
+
+    p_id = sub.add_parser("img-decompress",
+                          help="restore a .secz image container")
+    p_id.add_argument("input")
+    p_id.add_argument("output", help=".npy output path")
+    p_id.add_argument("--quality", type=int, default=75,
+                      help="quality used at compression time")
+    p_id.add_argument("--key-hex")
+    p_id.add_argument("--passphrase")
+    return parser
+
+
+def _cmd_compress(args: argparse.Namespace) -> int:
+    data = _load_input(args.input, args.shape)
+    sc = SecureCompressor(
+        scheme=args.scheme,
+        error_bound=args.eb,
+        key=_key_from_args(args),
+        cipher_mode=args.mode,
+    )
+    result = sc.compress(np.ascontiguousarray(data, dtype=np.float32)
+                         if data.dtype != np.float64 else data)
+    with open(args.output, "wb") as fh:
+        fh.write(result.container)
+    cr = data.nbytes / len(result.container)
+    print(
+        f"{args.input}: {data.nbytes} -> {len(result.container)} bytes "
+        f"(CR {cr:.3f}, scheme {args.scheme}, "
+        f"{result.encrypted_bytes} bytes encrypted)"
+    )
+    return 0
+
+
+def _cmd_decompress(args: argparse.Namespace) -> int:
+    with open(args.input, "rb") as fh:
+        blob = fh.read()
+    scheme = get_scheme(parse_container(blob).scheme_id)
+    sc = SecureCompressor(scheme=scheme.name, key=_key_from_args(args))
+    data = sc.decompress(blob)
+    if args.output.endswith(".npy"):
+        np.save(args.output, data)
+    else:
+        save_field(args.output, data)
+    print(f"{args.input}: restored {data.shape} {data.dtype} -> {args.output}")
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    from repro.core import integrity
+
+    with open(args.input, "rb") as fh:
+        blob = fh.read()
+    authenticated = blob[: len(integrity.MAGIC)] == integrity.MAGIC
+    if authenticated:
+        # Header-only inspection does not need (or verify) the key.
+        blob = blob[len(integrity.MAGIC) + integrity.TAG_BYTES :]
+    parsed = parse_container(blob)
+    scheme = get_scheme(parsed.scheme_id)
+    print(f"scheme:      {scheme.name}")
+    print(f"authenticated: {'yes (SECA tag present, not verified)' if authenticated else 'no'}")
+    print(f"cipher mode: {parsed.cipher_mode}")
+    print(f"iv:          {parsed.iv.hex()}")
+    print(f"total bytes: {len(blob)}")
+    for name, section in parsed.sections.items():
+        print(f"section {name:>8}: {len(section)} bytes")
+    return 0
+
+
+def _cmd_nist(args: argparse.Namespace) -> int:
+    with open(args.input, "rb") as fh:
+        blob = fh.read()
+    result = run_suite(blob, n_streams=args.streams)
+    print(result.format_table())
+    return 0 if result.all_pass else 1
+
+
+def _cmd_datasets(args: argparse.Namespace) -> int:
+    for name, spec in DATASETS.items():
+        dims = spec.preset_dims(args.size)
+        print(
+            f"{name:10s} {spec.description:28s} paper {spec.paper_dims} "
+            f"({spec.paper_size}); preset[{args.size}] {dims}"
+        )
+        if args.write:
+            import os
+
+            os.makedirs(args.write, exist_ok=True)
+            path = os.path.join(args.write, f"{name}.bin")
+            save_field(path, generate(name, size=args.size))
+            print(f"{'':10s} wrote {path}")
+    return 0
+
+
+def _cmd_advise(args: argparse.Namespace) -> int:
+    from repro.core.advisor import recommend_scheme
+
+    data = _load_input(args.input, args.shape)
+    rec = recommend_scheme(
+        np.ascontiguousarray(data, dtype=np.float32)
+        if data.dtype not in (np.float32, np.float64) else data,
+        args.eb,
+        require_full_randomness=args.randomness,
+    )
+    print(f"recommended scheme: {rec.scheme}")
+    for reason in rec.reasons:
+        print(f"  - {reason}")
+    print(f"predictable fraction: {rec.predictable_fraction:.2%}")
+    print(f"tree / quant array:   {rec.tree_fraction_of_quant:.2%}")
+    return 0
+
+
+def _cmd_img_compress(args: argparse.Namespace) -> int:
+    from repro.imagecodec import SecureImageCompressor
+
+    image = np.load(args.input)
+    sic = SecureImageCompressor(
+        args.scheme, args.quality, key=_key_from_args(args)
+    )
+    result = sic.compress(image)
+    with open(args.output, "wb") as fh:
+        fh.write(result.container)
+    print(
+        f"{args.input}: {image.size} px -> {result.compressed_bytes} bytes "
+        f"(q={args.quality}, {result.encrypted_bytes} bytes encrypted)"
+    )
+    return 0
+
+
+def _cmd_img_decompress(args: argparse.Namespace) -> int:
+    from repro.imagecodec import SecureImageCompressor
+
+    with open(args.input, "rb") as fh:
+        blob = fh.read()
+    scheme = get_scheme(parse_container(blob).scheme_id)
+    sic = SecureImageCompressor(
+        scheme.name, args.quality, key=_key_from_args(args)
+    )
+    image = sic.decompress(blob)
+    np.save(args.output, image)
+    print(f"{args.input}: restored {image.shape} image -> {args.output}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for the ``secz`` console script."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "compress": _cmd_compress,
+        "decompress": _cmd_decompress,
+        "inspect": _cmd_inspect,
+        "nist": _cmd_nist,
+        "datasets": _cmd_datasets,
+        "advise": _cmd_advise,
+        "img-compress": _cmd_img_compress,
+        "img-decompress": _cmd_img_decompress,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,151 @@
+"""The on-disk/on-wire container format for secure-compressed data.
+
+A container is::
+
+    magic 'SECZ' | version u8 | scheme u8 | cipher-mode u8 | flags u8
+    | IV (16 bytes) | section table | section payloads
+
+The *section table* lists ``(section id, byte length)`` pairs; which
+sections appear — and which of them are ciphertext — is the scheme's
+decision (see :mod:`repro.core.schemes`).  Everything a scheme needs to
+reverse its transformations (IV, mode, scheme id) is in the plaintext
+header; everything the *attacker* would need (the Huffman tree, or
+more) is inside the encrypted sections.
+
+The same ``pack_sections``/``unpack_sections`` helpers also serialize
+the inner SZ frame blobs, so there is exactly one framing code path.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+__all__ = [
+    "Container",
+    "pack_container",
+    "parse_container",
+    "pack_sections",
+    "unpack_sections",
+    "SECTION_IDS",
+    "CIPHER_MODES",
+]
+
+MAGIC = b"SECZ"
+VERSION = 1
+
+#: Wire ids for every section name that can appear at any level.
+SECTION_IDS: dict[str, int] = {
+    "meta": 0,
+    "tree": 1,
+    "codes": 2,
+    "unpred": 3,
+    "coeffs": 4,
+    "exact": 5,
+    "cipher": 6,   # an encrypted blob of inner sections
+    "zblob": 7,    # a zlib-compressed blob of inner sections
+    "aux": 8,      # transform side data (signs/zeros for pw_rel mode)
+}
+_ID_TO_NAME = {v: k for k, v in SECTION_IDS.items()}
+
+CIPHER_MODES: dict[str, int] = {"cbc": 0, "ctr": 1}
+_MODE_TO_NAME = {v: k for k, v in CIPHER_MODES.items()}
+
+_HEADER = struct.Struct("<4sBBBB16sB")  # ..., iv, n_sections
+_ENTRY = struct.Struct("<BQ")
+
+
+@dataclass(frozen=True)
+class Container:
+    """A parsed container header plus its raw sections."""
+
+    scheme_id: int
+    cipher_mode: str
+    iv: bytes
+    sections: dict[str, bytes]
+
+
+def pack_sections(sections: dict[str, bytes]) -> bytes:
+    """Serialize named byte sections with a count + table prefix."""
+    entries = []
+    payloads = []
+    for name, data in sections.items():
+        try:
+            sid = SECTION_IDS[name]
+        except KeyError:
+            raise ValueError(f"unknown section name {name!r}") from None
+        entries.append(_ENTRY.pack(sid, len(data)))
+        payloads.append(data)
+    return b"".join([struct.pack("<B", len(entries))] + entries + payloads)
+
+
+def unpack_sections(blob: bytes) -> dict[str, bytes]:
+    """Inverse of :func:`pack_sections` (strict: rejects trailing bytes)."""
+    if len(blob) < 1:
+        raise ValueError("section blob is empty")
+    (n_sections,) = struct.unpack_from("<B", blob)
+    offset = 1
+    table = []
+    for _ in range(n_sections):
+        if offset + _ENTRY.size > len(blob):
+            raise ValueError("truncated section table")
+        sid, length = _ENTRY.unpack_from(blob, offset)
+        if sid not in _ID_TO_NAME:
+            raise ValueError(f"unknown section id {sid}")
+        table.append((sid, length))
+        offset += _ENTRY.size
+    sections: dict[str, bytes] = {}
+    for sid, length in table:
+        if offset + length > len(blob):
+            raise ValueError("truncated section payload")
+        name = _ID_TO_NAME[sid]
+        if name in sections:
+            raise ValueError(f"duplicate section {name!r}")
+        sections[name] = blob[offset : offset + length]
+        offset += length
+    if offset != len(blob):
+        raise ValueError(f"{len(blob) - offset} trailing bytes after sections")
+    return sections
+
+
+def pack_container(scheme_id: int, cipher_mode: str, iv: bytes,
+                   sections: dict[str, bytes]) -> bytes:
+    """Assemble the full container byte string."""
+    if cipher_mode not in CIPHER_MODES:
+        raise ValueError(f"unknown cipher mode {cipher_mode!r}")
+    if len(iv) > 16:
+        raise ValueError("IV/nonce longer than 16 bytes")
+    iv16 = iv.ljust(16, b"\x00")
+    body = pack_sections(sections)
+    # pack_sections emits the count byte first; splice the table into
+    # the fixed header by re-using its layout directly.
+    header = _HEADER.pack(
+        MAGIC, VERSION, scheme_id, CIPHER_MODES[cipher_mode], len(iv), iv16,
+        body[0],
+    )
+    return header + body[1:]
+
+
+def parse_container(blob: bytes) -> Container:
+    """Parse and validate a container produced by :func:`pack_container`."""
+    if len(blob) < _HEADER.size:
+        raise ValueError("container shorter than its header")
+    magic, version, scheme_id, mode_id, iv_len, iv16, n_sections = (
+        _HEADER.unpack_from(blob)
+    )
+    if magic != MAGIC:
+        raise ValueError("bad magic; not a SECZ container")
+    if version != VERSION:
+        raise ValueError(f"unsupported container version {version}")
+    if mode_id not in _MODE_TO_NAME:
+        raise ValueError(f"unknown cipher mode id {mode_id}")
+    if iv_len > 16:
+        raise ValueError(f"invalid IV length {iv_len}")
+    body = struct.pack("<B", n_sections) + blob[_HEADER.size :]
+    sections = unpack_sections(body)
+    return Container(
+        scheme_id=scheme_id,
+        cipher_mode=_MODE_TO_NAME[mode_id],
+        iv=iv16[:iv_len],
+        sections=sections,
+    )

@@ -1,0 +1,79 @@
+"""The paper's evaluation metrics (Sec. V-B), as plain functions.
+
+Equation (1): compression ratio; Equation (2): bandwidth; Equation (3):
+time overhead.  Kept free of any pipeline state so both the library's
+result objects and the benchmark harness compute them identically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "compression_ratio",
+    "bandwidth_mb_s",
+    "overhead_percent",
+    "normalized_cr",
+    "max_abs_error",
+    "psnr",
+]
+
+_MB = 1024.0 * 1024.0
+
+
+def compression_ratio(original_bytes: int, compressed_bytes: int) -> float:
+    """Eq. (1): ``size_original / size_compressed``."""
+    if compressed_bytes <= 0:
+        raise ValueError("compressed size must be positive")
+    if original_bytes < 0:
+        raise ValueError("original size must be non-negative")
+    return original_bytes / compressed_bytes
+
+
+def bandwidth_mb_s(original_bytes: int, seconds: float) -> float:
+    """Eq. (2): MB of *original* data processed per second."""
+    if seconds <= 0:
+        raise ValueError("duration must be positive")
+    return (original_bytes / _MB) / seconds
+
+
+def overhead_percent(t_new: float, t_original: float) -> float:
+    """Eq. (3): ``t_new / t_original × 100`` (values < 100 mean the
+    combined method is *faster* than plain SZ, as Encr-Huffman is in
+    Table V)."""
+    if t_original <= 0:
+        raise ValueError("baseline duration must be positive")
+    if t_new < 0:
+        raise ValueError("duration must be non-negative")
+    return 100.0 * t_new / t_original
+
+
+def normalized_cr(scheme_cr: float, baseline_cr: float) -> float:
+    """Fig. 5's y-axis: a scheme's CR relative to plain SZ's."""
+    if baseline_cr <= 0:
+        raise ValueError("baseline CR must be positive")
+    return scheme_cr / baseline_cr
+
+
+def max_abs_error(original: np.ndarray, decompressed: np.ndarray) -> float:
+    """Maximum pointwise absolute error (the bound being verified)."""
+    a = np.asarray(original, dtype=np.float64)
+    b = np.asarray(decompressed, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch {a.shape} vs {b.shape}")
+    return float(np.max(np.abs(a - b)))
+
+
+def psnr(original: np.ndarray, decompressed: np.ndarray) -> float:
+    """Peak signal-to-noise ratio in dB (common EBLC quality metric)."""
+    a = np.asarray(original, dtype=np.float64)
+    b = np.asarray(decompressed, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch {a.shape} vs {b.shape}")
+    mse = float(np.mean((a - b) ** 2))
+    peak = float(np.max(a) - np.min(a))
+    if mse == 0.0:
+        return float("inf")
+    if peak == 0.0:
+        return float("-inf")
+    return 20.0 * np.log10(peak) - 10.0 * np.log10(mse)

@@ -1,0 +1,77 @@
+"""Stage-time instrumentation.
+
+The paper's Fig. 7 (time breakdown) and Tables III–V (time overhead)
+are computed from per-stage wall-clock times.  :class:`StageTimes`
+accumulates them; the library's own pipeline code records into the same
+structure the benchmarks read, so there is no bench-only fork of the
+timing logic.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Iterator
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = ["StageTimes", "STAGE_ORDER"]
+
+#: Display order for breakdown tables/plots (Fig. 7's stacking order).
+STAGE_ORDER = (
+    "quantize",
+    "predict",
+    "huffman_build",
+    "huffman_encode",
+    "huffman_decode",
+    "side_channels",
+    "encrypt",
+    "decrypt",
+    "lossless",
+    "reconstruct",
+)
+
+
+@dataclass
+class StageTimes:
+    """An accumulating map of stage name -> seconds."""
+
+    seconds: dict[str, float] = field(default_factory=dict)
+
+    def add(self, stage: str, dt: float) -> None:
+        """Accumulate ``dt`` seconds into ``stage``."""
+        if dt < 0:
+            raise ValueError(f"negative duration for stage {stage!r}")
+        self.seconds[stage] = self.seconds.get(stage, 0.0) + dt
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        """Context manager timing one stage."""
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add(name, time.perf_counter() - t0)
+
+    def merge(self, other: "StageTimes | dict[str, float]") -> None:
+        """Fold another record (or plain dict) into this one."""
+        items = other.seconds if isinstance(other, StageTimes) else other
+        for name, dt in items.items():
+            self.add(name, dt)
+
+    @property
+    def total(self) -> float:
+        """Sum of all recorded stages."""
+        return sum(self.seconds.values())
+
+    def fraction(self, stage: str) -> float:
+        """One stage's share of the total (0 when nothing recorded)."""
+        total = self.total
+        return self.seconds.get(stage, 0.0) / total if total else 0.0
+
+    def ordered(self) -> list[tuple[str, float]]:
+        """Stages in :data:`STAGE_ORDER`, then any extras alphabetically."""
+        known = [(s, self.seconds[s]) for s in STAGE_ORDER if s in self.seconds]
+        extras = sorted(
+            (item for item in self.seconds.items() if item[0] not in STAGE_ORDER)
+        )
+        return known + extras

@@ -1,0 +1,56 @@
+"""From-scratch AES-128 substrate used by the secure-compression schemes.
+
+The paper encrypts with AES-128 in CBC mode ("light-weight cryptography
+... AES-128 Cipher Block Chaining (CBC) mode", Section V-A).  No binary
+crypto library is assumed; everything here is implemented from the
+FIPS-197 / SP 800-38A specifications and validated against the published
+test vectors in ``tests/crypto``.
+
+Layout
+------
+``sbox``
+    GF(2^8) arithmetic, the S-box and its inverse, and the
+    multiplication tables used by MixColumns (all *derived*, not
+    transcribed, so the construction is auditable).
+``keyschedule``
+    FIPS-197 key expansion for AES-128.
+``block``
+    Scalar single-block cipher (T-table encryption path plus a
+    plain state-matrix implementation of both directions).
+``batch``
+    NumPy-vectorized ECB engine that processes an ``(n, 16)`` array of
+    blocks per round — the HPC path used by CBC-decrypt and CTR, where
+    blocks are independent.
+``modes``
+    CBC and CTR modes with PKCS#7 padding.  CBC encryption is
+    inherently sequential (each block chains on the previous
+    ciphertext), CBC decryption and CTR are batched.
+``rng``
+    IV generation (OS entropy, or deterministic for reproducible runs).
+``aes``
+    The :class:`~repro.crypto.aes.AES128` façade the rest of the
+    library uses.
+"""
+
+from repro.crypto.aes import AES128, EncryptionResult
+from repro.crypto.modes import (
+    cbc_decrypt,
+    cbc_encrypt,
+    ctr_keystream,
+    ctr_xcrypt,
+    pkcs7_pad,
+    pkcs7_unpad,
+)
+from repro.crypto.rng import generate_iv
+
+__all__ = [
+    "AES128",
+    "EncryptionResult",
+    "cbc_encrypt",
+    "cbc_decrypt",
+    "ctr_keystream",
+    "ctr_xcrypt",
+    "pkcs7_pad",
+    "pkcs7_unpad",
+    "generate_iv",
+]

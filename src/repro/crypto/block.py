@@ -1,0 +1,151 @@
+"""Scalar AES-128 block cipher.
+
+Two implementations live here:
+
+* :func:`encrypt_block` — the classic four-T-table formulation.  Each
+  round of the cipher collapses into 16 table lookups and 20 XORs on
+  32-bit column words, which is the fastest thing pure Python can do
+  per block.  CBC *encryption* must run block-by-block (ciphertext
+  chaining), so this path is on the critical path of every scheme in
+  the paper and is worth the table machinery.
+* :func:`decrypt_block` — a plain state-matrix inverse cipher.  Bulk
+  decryption goes through the vectorized :mod:`repro.crypto.batch`
+  engine instead; this scalar version exists for small inputs and for
+  cross-checking the batch engine in tests.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.keyschedule import ROUNDS, ExpandedKey
+from repro.crypto.sbox import (
+    INV_SBOX,
+    INV_SHIFT_ROWS,
+    MUL9,
+    MUL11,
+    MUL13,
+    MUL14,
+    SBOX,
+    T0,
+    T1,
+    T2,
+    T3,
+)
+
+__all__ = ["encrypt_block", "decrypt_block", "BLOCK_BYTES"]
+
+BLOCK_BYTES = 16
+
+
+def encrypt_block(block: bytes, key: ExpandedKey) -> bytes:
+    """Encrypt one 16-byte block with the T-table cipher."""
+    if len(block) != BLOCK_BYTES:
+        raise ValueError(f"AES block must be 16 bytes, got {len(block)}")
+    words = key.words
+    w0 = int.from_bytes(block[0:4], "big") ^ words[0]
+    w1 = int.from_bytes(block[4:8], "big") ^ words[1]
+    w2 = int.from_bytes(block[8:12], "big") ^ words[2]
+    w3 = int.from_bytes(block[12:16], "big") ^ words[3]
+
+    for r in range(1, ROUNDS):
+        base = 4 * r
+        e0 = (
+            T0[(w0 >> 24) & 0xFF]
+            ^ T1[(w1 >> 16) & 0xFF]
+            ^ T2[(w2 >> 8) & 0xFF]
+            ^ T3[w3 & 0xFF]
+            ^ words[base]
+        )
+        e1 = (
+            T0[(w1 >> 24) & 0xFF]
+            ^ T1[(w2 >> 16) & 0xFF]
+            ^ T2[(w3 >> 8) & 0xFF]
+            ^ T3[w0 & 0xFF]
+            ^ words[base + 1]
+        )
+        e2 = (
+            T0[(w2 >> 24) & 0xFF]
+            ^ T1[(w3 >> 16) & 0xFF]
+            ^ T2[(w0 >> 8) & 0xFF]
+            ^ T3[w1 & 0xFF]
+            ^ words[base + 2]
+        )
+        e3 = (
+            T0[(w3 >> 24) & 0xFF]
+            ^ T1[(w0 >> 16) & 0xFF]
+            ^ T2[(w1 >> 8) & 0xFF]
+            ^ T3[w2 & 0xFF]
+            ^ words[base + 3]
+        )
+        w0, w1, w2, w3 = e0, e1, e2, e3
+
+    # Final round: SubBytes + ShiftRows + AddRoundKey (no MixColumns).
+    base = 4 * ROUNDS
+    f0 = (
+        (SBOX[(w0 >> 24) & 0xFF] << 24)
+        | (SBOX[(w1 >> 16) & 0xFF] << 16)
+        | (SBOX[(w2 >> 8) & 0xFF] << 8)
+        | SBOX[w3 & 0xFF]
+    ) ^ words[base]
+    f1 = (
+        (SBOX[(w1 >> 24) & 0xFF] << 24)
+        | (SBOX[(w2 >> 16) & 0xFF] << 16)
+        | (SBOX[(w3 >> 8) & 0xFF] << 8)
+        | SBOX[w0 & 0xFF]
+    ) ^ words[base + 1]
+    f2 = (
+        (SBOX[(w2 >> 24) & 0xFF] << 24)
+        | (SBOX[(w3 >> 16) & 0xFF] << 16)
+        | (SBOX[(w0 >> 8) & 0xFF] << 8)
+        | SBOX[w1 & 0xFF]
+    ) ^ words[base + 2]
+    f3 = (
+        (SBOX[(w3 >> 24) & 0xFF] << 24)
+        | (SBOX[(w0 >> 16) & 0xFF] << 16)
+        | (SBOX[(w1 >> 8) & 0xFF] << 8)
+        | SBOX[w2 & 0xFF]
+    ) ^ words[base + 3]
+
+    return (
+        f0.to_bytes(4, "big")
+        + f1.to_bytes(4, "big")
+        + f2.to_bytes(4, "big")
+        + f3.to_bytes(4, "big")
+    )
+
+
+def _add_round_key(state: list[int], key: ExpandedKey, r: int) -> None:
+    rk = key.round_keys[r]
+    for i in range(BLOCK_BYTES):
+        state[i] ^= rk[i]
+
+
+def _inv_shift_rows(state: list[int]) -> list[int]:
+    return [state[INV_SHIFT_ROWS[i]] for i in range(BLOCK_BYTES)]
+
+
+def _inv_mix_columns(state: list[int]) -> list[int]:
+    out = [0] * BLOCK_BYTES
+    for c in range(4):
+        s0, s1, s2, s3 = state[4 * c : 4 * c + 4]
+        out[4 * c + 0] = MUL14[s0] ^ MUL11[s1] ^ MUL13[s2] ^ MUL9[s3]
+        out[4 * c + 1] = MUL9[s0] ^ MUL14[s1] ^ MUL11[s2] ^ MUL13[s3]
+        out[4 * c + 2] = MUL13[s0] ^ MUL9[s1] ^ MUL14[s2] ^ MUL11[s3]
+        out[4 * c + 3] = MUL11[s0] ^ MUL13[s1] ^ MUL9[s2] ^ MUL14[s3]
+    return out
+
+
+def decrypt_block(block: bytes, key: ExpandedKey) -> bytes:
+    """Decrypt one 16-byte block (straight inverse cipher, FIPS-197 5.3)."""
+    if len(block) != BLOCK_BYTES:
+        raise ValueError(f"AES block must be 16 bytes, got {len(block)}")
+    state = list(block)
+    _add_round_key(state, key, ROUNDS)
+    for r in range(ROUNDS - 1, 0, -1):
+        state = _inv_shift_rows(state)
+        state = [INV_SBOX[b] for b in state]
+        _add_round_key(state, key, r)
+        state = _inv_mix_columns(state)
+    state = _inv_shift_rows(state)
+    state = [INV_SBOX[b] for b in state]
+    _add_round_key(state, key, 0)
+    return bytes(state)

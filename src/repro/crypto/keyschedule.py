@@ -1,0 +1,92 @@
+"""FIPS-197 key expansion for AES-128.
+
+The 16-byte cipher key is expanded to 44 32-bit words (11 round keys).
+The schedule is exposed in three forms so every execution engine can
+consume it without re-deriving anything:
+
+* ``words``      — 44 ints, the raw FIPS-197 ``w[i]`` array,
+* ``round_keys`` — 11 × 16 ``bytes`` objects (scalar path),
+* ``as_array``   — an ``(11, 16) uint8`` ndarray (batched path).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.crypto.sbox import RCON, SBOX
+
+__all__ = ["ExpandedKey", "expand_key"]
+
+KEY_BYTES = 16
+ROUNDS = 10
+WORDS = 4 * (ROUNDS + 1)
+
+
+def _sub_word(w: int) -> int:
+    return (
+        (SBOX[(w >> 24) & 0xFF] << 24)
+        | (SBOX[(w >> 16) & 0xFF] << 16)
+        | (SBOX[(w >> 8) & 0xFF] << 8)
+        | SBOX[w & 0xFF]
+    )
+
+
+def _rot_word(w: int) -> int:
+    return ((w << 8) | (w >> 24)) & 0xFFFFFFFF
+
+
+@dataclass(frozen=True)
+class ExpandedKey:
+    """An AES-128 key schedule in all the layouts the engines need."""
+
+    words: tuple[int, ...]
+    round_keys: tuple[bytes, ...] = field(repr=False, default=())
+
+    def __post_init__(self) -> None:
+        if len(self.words) != WORDS:
+            raise ValueError(f"expected {WORDS} schedule words, got {len(self.words)}")
+        if not self.round_keys:
+            rks = []
+            for r in range(ROUNDS + 1):
+                chunk = b"".join(
+                    w.to_bytes(4, "big") for w in self.words[4 * r : 4 * r + 4]
+                )
+                rks.append(chunk)
+            object.__setattr__(self, "round_keys", tuple(rks))
+
+    def as_array(self) -> np.ndarray:
+        """Round keys as an ``(11, 16) uint8`` array for the batch engine."""
+        return np.frombuffer(b"".join(self.round_keys), dtype=np.uint8).reshape(
+            ROUNDS + 1, KEY_BYTES
+        )
+
+    def round_words(self, r: int) -> tuple[int, int, int, int]:
+        """The four 32-bit words of round key ``r`` (T-table path)."""
+        base = 4 * r
+        return (
+            self.words[base],
+            self.words[base + 1],
+            self.words[base + 2],
+            self.words[base + 3],
+        )
+
+
+def expand_key(key: bytes) -> ExpandedKey:
+    """Expand a 16-byte AES-128 key per FIPS-197 Section 5.2.
+
+    Raises
+    ------
+    ValueError
+        If ``key`` is not exactly 16 bytes.
+    """
+    if len(key) != KEY_BYTES:
+        raise ValueError(f"AES-128 requires a 16-byte key, got {len(key)} bytes")
+    w = [int.from_bytes(key[4 * i : 4 * i + 4], "big") for i in range(4)]
+    for i in range(4, WORDS):
+        temp = w[i - 1]
+        if i % 4 == 0:
+            temp = _sub_word(_rot_word(temp)) ^ (RCON[i // 4 - 1] << 24)
+        w.append(w[i - 4] ^ temp)
+    return ExpandedKey(words=tuple(w))

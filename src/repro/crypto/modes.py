@@ -1,0 +1,111 @@
+"""Cipher modes of operation: CBC (paper's choice) and CTR, plus PKCS#7.
+
+The paper's Algorithm 1 is textbook CBC:
+
+    M_0 = IV xor B_0;  M_i = Cipher_{i-1} xor B_i;  Cipher_i = E_k(M_i)
+
+* **CBC encryption** chains each block on the previous ciphertext, so
+  it is inherently sequential and runs on the scalar T-table cipher.
+* **CBC decryption** applies the block cipher to every ciphertext block
+  *independently* (the chaining is only an XOR afterwards), so it runs
+  on the batched engine:  P_i = D_k(C_i) xor C_{i-1}.
+* **CTR** is embarrassingly parallel in both directions and is provided
+  for the mode ablation study (``benchmarks/bench_ablation_modes.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.crypto import batch
+from repro.crypto.block import BLOCK_BYTES, encrypt_block
+from repro.crypto.keyschedule import ExpandedKey
+
+__all__ = [
+    "pkcs7_pad",
+    "pkcs7_unpad",
+    "cbc_encrypt",
+    "cbc_decrypt",
+    "ctr_keystream",
+    "ctr_xcrypt",
+]
+
+
+def pkcs7_pad(data: bytes) -> bytes:
+    """Pad to a multiple of 16 bytes (RFC 5652); always adds 1-16 bytes."""
+    pad_len = BLOCK_BYTES - (len(data) % BLOCK_BYTES)
+    return data + bytes([pad_len]) * pad_len
+
+
+def pkcs7_unpad(data: bytes) -> bytes:
+    """Strip PKCS#7 padding, validating every padding byte.
+
+    Raises
+    ------
+    ValueError
+        If the buffer is empty, misaligned, or the padding is malformed
+        (the classic padding-oracle checks).
+    """
+    if not data or len(data) % BLOCK_BYTES != 0:
+        raise ValueError("padded data must be a positive multiple of 16 bytes")
+    pad_len = data[-1]
+    if pad_len < 1 or pad_len > BLOCK_BYTES:
+        raise ValueError(f"invalid PKCS#7 padding length {pad_len}")
+    if data[-pad_len:] != bytes([pad_len]) * pad_len:
+        raise ValueError("corrupt PKCS#7 padding")
+    return data[:-pad_len]
+
+
+def cbc_encrypt(plaintext: bytes, key: ExpandedKey, iv: bytes) -> bytes:
+    """AES-128-CBC encrypt with PKCS#7 padding (sequential by design)."""
+    if len(iv) != BLOCK_BYTES:
+        raise ValueError(f"IV must be 16 bytes, got {len(iv)}")
+    padded = pkcs7_pad(plaintext)
+    out = bytearray(len(padded))
+    prev = iv
+    for off in range(0, len(padded), BLOCK_BYTES):
+        block = bytes(a ^ b for a, b in zip(padded[off : off + BLOCK_BYTES], prev))
+        prev = encrypt_block(block, key)
+        out[off : off + BLOCK_BYTES] = prev
+    return bytes(out)
+
+
+def cbc_decrypt(ciphertext: bytes, key: ExpandedKey, iv: bytes) -> bytes:
+    """AES-128-CBC decrypt (batched) and strip PKCS#7 padding."""
+    if len(iv) != BLOCK_BYTES:
+        raise ValueError(f"IV must be 16 bytes, got {len(iv)}")
+    if not ciphertext or len(ciphertext) % BLOCK_BYTES != 0:
+        raise ValueError("ciphertext must be a positive multiple of 16 bytes")
+    blocks = batch.to_blocks(ciphertext)
+    decrypted = batch.decrypt_blocks(blocks, key)
+    # P_i = D(C_i) xor C_{i-1}; block 0 XORs the IV.
+    chain = np.empty_like(blocks)
+    chain[0] = np.frombuffer(iv, dtype=np.uint8)
+    chain[1:] = blocks[:-1]
+    plain = np.bitwise_xor(decrypted, chain)
+    return pkcs7_unpad(batch.from_blocks(plain))
+
+
+def _counter_blocks(nonce: bytes, n_blocks: int, initial: int = 0) -> np.ndarray:
+    """Build CTR input blocks: 8-byte nonce || 8-byte big-endian counter."""
+    if len(nonce) != 8:
+        raise ValueError(f"CTR nonce must be 8 bytes, got {len(nonce)}")
+    counters = (np.arange(initial, initial + n_blocks, dtype=np.uint64)).astype(">u8")
+    blocks = np.empty((n_blocks, BLOCK_BYTES), dtype=np.uint8)
+    blocks[:, :8] = np.frombuffer(nonce, dtype=np.uint8)
+    blocks[:, 8:] = counters.view(np.uint8).reshape(n_blocks, 8)
+    return blocks
+
+
+def ctr_keystream(key: ExpandedKey, nonce: bytes, n_bytes: int) -> np.ndarray:
+    """Generate ``n_bytes`` of CTR keystream in one batched encryption."""
+    n_blocks = (n_bytes + BLOCK_BYTES - 1) // BLOCK_BYTES
+    stream = batch.encrypt_blocks(_counter_blocks(nonce, n_blocks), key)
+    return stream.reshape(-1)[:n_bytes]
+
+
+def ctr_xcrypt(data: bytes, key: ExpandedKey, nonce: bytes) -> bytes:
+    """CTR encrypt/decrypt (the operation is its own inverse)."""
+    buf = np.frombuffer(data, dtype=np.uint8)
+    ks = ctr_keystream(key, nonce, buf.size)
+    return np.bitwise_xor(buf, ks).tobytes()

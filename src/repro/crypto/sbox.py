@@ -1,0 +1,156 @@
+"""GF(2^8) arithmetic and the AES S-box, derived from first principles.
+
+AES works in the field GF(2^8) with the reduction polynomial
+
+    m(x) = x^8 + x^4 + x^3 + x + 1      (0x11B)
+
+The S-box is *not* transcribed from the standard; it is constructed the
+way FIPS-197 Section 5.1.1 defines it — multiplicative inverse in
+GF(2^8) followed by the affine transform — so that the whole cipher is
+auditable from this file alone.  ``tests/crypto/test_sbox.py`` checks
+the derived tables against the published spot values.
+
+Everything is exposed both as Python tuples (fast scalar indexing for
+the single-block path) and as ``numpy.uint8`` arrays (fancy-indexing
+lookups for the batched path).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: AES reduction polynomial x^8 + x^4 + x^3 + x + 1.
+REDUCTION_POLY = 0x11B
+
+
+def gf_mul(a: int, b: int) -> int:
+    """Multiply two elements of GF(2^8) (carry-less, reduced mod 0x11B).
+
+    This is the schoolbook shift-and-add ("Russian peasant")
+    multiplication; it is only used at import time to build lookup
+    tables, so clarity beats speed here.
+    """
+    result = 0
+    a &= 0xFF
+    b &= 0xFF
+    while b:
+        if b & 1:
+            result ^= a
+        a <<= 1
+        if a & 0x100:
+            a ^= REDUCTION_POLY
+        b >>= 1
+    return result & 0xFF
+
+
+def gf_pow(a: int, n: int) -> int:
+    """Raise ``a`` to the ``n``-th power in GF(2^8)."""
+    result = 1
+    base = a
+    while n:
+        if n & 1:
+            result = gf_mul(result, base)
+        base = gf_mul(base, base)
+        n >>= 1
+    return result
+
+
+def gf_inv(a: int) -> int:
+    """Multiplicative inverse in GF(2^8); by convention inv(0) == 0.
+
+    Uses Fermat's little theorem for GF(2^8): a^(2^8 - 2) = a^254 is
+    the inverse of any nonzero ``a``.
+    """
+    if a == 0:
+        return 0
+    return gf_pow(a, 254)
+
+
+def _affine(x: int) -> int:
+    """The FIPS-197 affine transform applied after inversion.
+
+    b'_i = b_i ^ b_{(i+4)%8} ^ b_{(i+5)%8} ^ b_{(i+6)%8} ^ b_{(i+7)%8} ^ c_i
+    with c = 0x63.
+    """
+    result = 0
+    for i in range(8):
+        bit = (
+            (x >> i)
+            ^ (x >> ((i + 4) % 8))
+            ^ (x >> ((i + 5) % 8))
+            ^ (x >> ((i + 6) % 8))
+            ^ (x >> ((i + 7) % 8))
+            ^ (0x63 >> i)
+        ) & 1
+        result |= bit << i
+    return result
+
+
+def _build_sbox() -> tuple[tuple[int, ...], tuple[int, ...]]:
+    sbox = [0] * 256
+    inv_sbox = [0] * 256
+    for x in range(256):
+        s = _affine(gf_inv(x))
+        sbox[x] = s
+        inv_sbox[s] = x
+    return tuple(sbox), tuple(inv_sbox)
+
+
+#: Forward and inverse S-boxes as tuples (scalar path).
+SBOX, INV_SBOX = _build_sbox()
+
+#: S-boxes as uint8 arrays (batched path).
+SBOX_NP = np.array(SBOX, dtype=np.uint8)
+INV_SBOX_NP = np.array(INV_SBOX, dtype=np.uint8)
+
+
+def _mul_table(c: int) -> np.ndarray:
+    return np.array([gf_mul(c, x) for x in range(256)], dtype=np.uint8)
+
+
+#: GF multiplication tables used by MixColumns / InvMixColumns.
+MUL2 = _mul_table(2)
+MUL3 = _mul_table(3)
+MUL9 = _mul_table(9)
+MUL11 = _mul_table(11)
+MUL13 = _mul_table(13)
+MUL14 = _mul_table(14)
+
+#: Round constants for the key schedule: rcon[i] = x^i in GF(2^8).
+RCON = tuple(gf_pow(2, i) for i in range(10))
+
+
+def _build_t_tables() -> tuple[tuple[int, ...], ...]:
+    """Build the four 32-bit encryption T-tables.
+
+    T0[x] packs the MixColumns column produced by an S-boxed byte in
+    row 0: (2·S[x], S[x], S[x], 3·S[x]) big-endian; T1..T3 are byte
+    rotations of T0.  One AES round for an output column then collapses
+    to four table lookups and four XORs (see ``block.encrypt_block``).
+    """
+    t0 = []
+    for x in range(256):
+        s = SBOX[x]
+        word = (int(MUL2[s]) << 24) | (s << 16) | (s << 8) | int(MUL3[s])
+        t0.append(word)
+    t0 = tuple(t0)
+
+    def rot8(w: int) -> int:
+        return ((w >> 8) | ((w & 0xFF) << 24)) & 0xFFFFFFFF
+
+    t1 = tuple(rot8(w) for w in t0)
+    t2 = tuple(rot8(w) for w in t1)
+    t3 = tuple(rot8(w) for w in t2)
+    return t0, t1, t2, t3
+
+
+T0, T1, T2, T3 = _build_t_tables()
+
+#: ShiftRows as a flat-index permutation: ``out[i] = state[SHIFT_ROWS[i]]``
+#: for the FIPS column-major byte layout (state[r][c] == flat[r + 4c]).
+SHIFT_ROWS = tuple((i % 4) + 4 * (((i // 4) + (i % 4)) % 4) for i in range(16))
+#: Inverse permutation for InvShiftRows.
+INV_SHIFT_ROWS = tuple(SHIFT_ROWS.index(i) for i in range(16))
+
+SHIFT_ROWS_NP = np.array(SHIFT_ROWS, dtype=np.intp)
+INV_SHIFT_ROWS_NP = np.array(INV_SHIFT_ROWS, dtype=np.intp)

@@ -1,0 +1,28 @@
+"""Synthetic stand-ins for the paper's SDRBench evaluation fields.
+
+The paper evaluates on seven fields (Table I): *CLOUDf48* and *Wf48*
+from Hurricane Isabel, *dark_matter_density* from Nyx, and *Q2*,
+*Height*, *QI*, *T* from SCALE-LetKF.  Those multi-GB files are not
+redistributable here, so :mod:`repro.datasets.generators` synthesizes
+seeded fields with the same *statistical character* — which is what
+every experiment actually depends on: the fraction of
+SZ-predictable points, the Huffman-tree share, and the compression-
+ratio ordering (QI/CLOUDf48 easy ≫ Q2 > Height/T > Nyx hard).
+
+See DESIGN.md §2 for the substitution rationale and EXPERIMENTS.md for
+measured-vs-paper profiles.
+"""
+
+from repro.datasets.generators import generate
+from repro.datasets.io import load_field, save_field
+from repro.datasets.registry import DATASETS, DatasetSpec, dataset_names, get_spec
+
+__all__ = [
+    "generate",
+    "DATASETS",
+    "DatasetSpec",
+    "dataset_names",
+    "get_spec",
+    "load_field",
+    "save_field",
+]

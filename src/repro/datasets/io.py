@@ -1,0 +1,43 @@
+"""Raw binary field I/O in the SDRBench convention.
+
+SDRBench distributes fields as headerless little-endian float32 ``.bin``
+files (C order); shape lives in the file name / docs.  These helpers
+read and write that format so the library can also run on the *real*
+datasets when a user has them (``load_field("CLOUDf48.bin.f32",
+shape=(100, 500, 500))``).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+__all__ = ["load_field", "save_field"]
+
+
+def load_field(path: str | os.PathLike, shape: tuple[int, ...],
+               dtype: np.dtype | str = np.float32) -> np.ndarray:
+    """Load a headerless binary field and reshape it.
+
+    Raises
+    ------
+    ValueError
+        If the file size does not match ``shape``/``dtype`` exactly —
+        the most common sign of a wrong shape argument.
+    """
+    dtype = np.dtype(dtype)
+    expected = int(np.prod(shape)) * dtype.itemsize
+    actual = os.path.getsize(path)
+    if actual != expected:
+        raise ValueError(
+            f"{path}: file is {actual} bytes but shape {shape} with dtype "
+            f"{dtype} needs {expected}"
+        )
+    data = np.fromfile(path, dtype=dtype)
+    return data.reshape(shape)
+
+
+def save_field(path: str | os.PathLike, data: np.ndarray) -> None:
+    """Write a field as headerless C-order binary (SDRBench layout)."""
+    np.ascontiguousarray(data).tofile(path)

@@ -1,0 +1,148 @@
+"""Dataset registry — the reproduction's version of the paper's Table I.
+
+Each :class:`DatasetSpec` records the real dataset's provenance
+(dimensions, size, description, exactly as Table I lists them) plus the
+scaled synthetic presets the experiments here actually run.  Preset
+dimensions preserve each field's aspect character (thin atmospheric
+stacks stay thin, cubic cosmology boxes stay cubic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["DatasetSpec", "DATASETS", "dataset_names", "get_spec"]
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Metadata for one evaluation field."""
+
+    name: str
+    description: str
+    paper_dims: tuple[int, ...]
+    paper_size: str
+    source: str
+    presets: dict[str, tuple[int, ...]]
+
+    def preset_dims(self, size: str) -> tuple[int, ...]:
+        """Grid dimensions for a named preset (tiny/small/medium)."""
+        try:
+            return self.presets[size]
+        except KeyError:
+            raise ValueError(
+                f"dataset {self.name!r} has no preset {size!r}; "
+                f"choose from {sorted(self.presets)}"
+            ) from None
+
+    def n_elements(self, size: str) -> int:
+        """Element count of a preset."""
+        return int(np.prod(self.preset_dims(size)))
+
+
+DATASETS: dict[str, DatasetSpec] = {
+    spec.name: spec
+    for spec in (
+        DatasetSpec(
+            name="cloudf48",
+            description="Cloud moisture mixing ratio",
+            paper_dims=(100, 500, 500),
+            paper_size="95.37MB",
+            source="Hurricane Isabel (SDRBench)",
+            presets={
+                "tiny": (16, 48, 48),
+                "small": (24, 100, 100),
+                "medium": (48, 220, 220),
+            },
+        ),
+        DatasetSpec(
+            name="wf48",
+            description="Hurricane wind speed",
+            paper_dims=(100, 500, 500),
+            paper_size="95.37MB",
+            source="Hurricane Isabel (SDRBench)",
+            presets={
+                "tiny": (16, 48, 48),
+                "small": (24, 100, 100),
+                "medium": (48, 220, 220),
+            },
+        ),
+        DatasetSpec(
+            name="nyx",
+            description="Dark matter density",
+            paper_dims=(512, 512, 512),
+            paper_size="527MB",
+            source="Nyx cosmology (SDRBench)",
+            presets={
+                "tiny": (32, 32, 32),
+                "small": (64, 64, 64),
+                "medium": (128, 128, 128),
+            },
+        ),
+        DatasetSpec(
+            name="q2",
+            description="2m Specific humidity",
+            paper_dims=(11, 1200, 1200),
+            paper_size="61MB",
+            source="SCALE-LetKF (SDRBench)",
+            presets={
+                "tiny": (11, 56, 56),
+                "small": (11, 160, 160),
+                "medium": (11, 440, 440),
+            },
+        ),
+        DatasetSpec(
+            name="height",
+            description="Height above ground",
+            paper_dims=(98, 1200, 1200),
+            paper_size="1.1GB",
+            source="SCALE-LetKF (SDRBench)",
+            presets={
+                "tiny": (20, 40, 40),
+                "small": (49, 75, 75),
+                "medium": (98, 150, 150),
+            },
+        ),
+        DatasetSpec(
+            name="qi",
+            description="Cloud Ice mixing ratio",
+            paper_dims=(11, 98, 1200, 1200),
+            paper_size="5.8GB",
+            source="SCALE-LetKF (SDRBench)",
+            presets={
+                "tiny": (4, 10, 30, 30),
+                "small": (6, 16, 52, 52),
+                "medium": (11, 24, 90, 90),
+            },
+        ),
+        DatasetSpec(
+            name="t",
+            description="Temperature",
+            paper_dims=(11, 98, 1200, 1200),
+            paper_size="5.8GB",
+            source="SCALE-LetKF (SDRBench)",
+            presets={
+                "tiny": (4, 10, 30, 30),
+                "small": (6, 16, 52, 52),
+                "medium": (11, 24, 90, 90),
+            },
+        ),
+    )
+}
+
+
+def dataset_names() -> tuple[str, ...]:
+    """All registered dataset names, Table I order."""
+    return tuple(DATASETS)
+
+
+def get_spec(name: str) -> DatasetSpec:
+    """Look up a :class:`DatasetSpec` by name."""
+    try:
+        return DATASETS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown dataset {name!r}; choose from {sorted(DATASETS)}"
+        ) from None

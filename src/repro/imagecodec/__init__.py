@@ -1,0 +1,28 @@
+"""A JPEG-like lossy image codec, wired into the same scheme layer.
+
+The paper claims its white-box integrations apply to "any compressor
+that leverages Huffman encoding (e.g., MGARD and JPEG)" (Sec. IV).
+This package substantiates that claim with a second, independent codec
+built on the classic JPEG structure:
+
+    8x8 blocks -> 2-D DCT -> quality-scaled quantization ->
+    DC delta coding + AC zigzag run-length tokens -> canonical Huffman
+    -> zlib
+
+Because the codec emits the *same named sections* as the SZ frame
+(``meta`` / ``tree`` / ``codes`` / ``unpred`` / ``coeffs`` / ``exact``),
+all four schemes from :mod:`repro.core.schemes` — including
+Encr-Huffman's tree-only encryption — work on images unchanged; see
+:class:`~repro.imagecodec.pipeline.SecureImageCompressor`.
+"""
+
+from repro.imagecodec.codec import ImageCodec, ImageStats
+from repro.imagecodec.pipeline import SecureImageCompressor
+from repro.imagecodec.testimages import synthetic_image
+
+__all__ = [
+    "ImageCodec",
+    "ImageStats",
+    "SecureImageCompressor",
+    "synthetic_image",
+]

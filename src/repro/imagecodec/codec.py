@@ -1,0 +1,273 @@
+"""The JPEG-like encoder/decoder producing scheme-compatible sections.
+
+Token design (simplified baseline JPEG):
+
+* The 63 AC coefficients of each block are zigzag-scanned and encoded
+  as run/value tokens: ``token = (run << 12) | (value + 2048)`` with
+  ``run`` in 0..15 and ``value`` clamped to ±2047.  A zero-run longer
+  than 15 emits :data:`ZRL`; a value outside ±2047 emits the token
+  with value-slot 0 (an escape) and ships the true value through the
+  side channel.  Every block terminates with :data:`EOB`.
+* DC coefficients are delta-coded across blocks (JPEG's DPCM) and
+  carried in the ``unpred`` side channel next to the escape values.
+* The token stream is canonical-Huffman coded with
+  :mod:`repro.sz.huffman` — the same machinery SZ uses, which is the
+  point: Encr-Huffman's "encrypt only the tree" idea transfers without
+  modification.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.imagecodec import transform
+from repro.sz import huffman, intcodec
+from repro.sz.bitstream import PackedBits
+
+__all__ = ["ImageCodec", "ImageStats", "EOB", "ZRL"]
+
+#: End-of-block token (outside the (run, value) packing range).
+EOB = 1 << 16
+#: Sixteen-zeros run token.
+ZRL = (1 << 16) + 1
+
+_VALUE_BIAS = 2048
+_MAX_VALUE = 2047
+_META = struct.Struct("<4sBBQQQQQ")  # magic, ver, quality, h, w, nblk, ntok, nbits
+_META_MAGIC = b"IMfr"
+_META_VERSION = 1
+
+
+@dataclass
+class ImageStats:
+    """Encoder statistics (the image analog of ``CompressionStats``)."""
+
+    height: int
+    width: int
+    n_blocks: int
+    n_tokens: int
+    n_escapes: int
+    quality: int
+    section_bytes: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def quant_array_bytes(self) -> int:
+        """Huffman tree + token bitstream (the Encr-Quant target)."""
+        return self.section_bytes["tree"] + self.section_bytes["codes"]
+
+    @property
+    def tree_fraction_of_quant(self) -> float:
+        denom = self.quant_array_bytes
+        return self.section_bytes["tree"] / denom if denom else 0.0
+
+
+class ImageCodec:
+    """Grayscale lossy image codec with scheme-compatible sections.
+
+    Parameters
+    ----------
+    quality:
+        JPEG-style quality, 1 (coarsest) to 100 (finest).
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.imagecodec import ImageCodec
+    >>> img = np.tile(np.linspace(0, 255, 64), (64, 1)).astype(np.float64)
+    >>> codec = ImageCodec(quality=90)
+    >>> sections, stats = codec.encode(img)
+    >>> out = codec.decode(sections)
+    >>> out.shape
+    (64, 64)
+    """
+
+    def __init__(self, quality: int = 75) -> None:
+        self.quality = int(quality)
+        self._q = transform.quality_scaled_q(self.quality)
+
+    # ------------------------------------------------------------------
+
+    def encode(self, image: np.ndarray) -> tuple[dict[str, bytes], ImageStats]:
+        """Encode a 2-D image into named byte sections."""
+        image = np.asarray(image, dtype=np.float64)
+        if image.ndim != 2 or image.size == 0:
+            raise ValueError("expected a non-empty 2-D grayscale image")
+        blocks, padded_shape = transform.blockify(image - 128.0)
+        coeffs = transform.dct_blocks(blocks)
+        q3 = self._q[np.newaxis]
+        quantized = np.rint(coeffs / q3).astype(np.int64)
+
+        flat = quantized.reshape(-1, 64)[:, transform.ZIGZAG]
+        dc = flat[:, 0]
+        ac = flat[:, 1:]
+
+        tokens, escapes = _tokenize(ac)
+        dc_deltas = np.diff(dc, prepend=np.int64(0))
+
+        symbols, counts = np.unique(tokens, return_counts=True)
+        code = huffman.build_code(symbols, counts)
+        packed = huffman.encode(tokens, code)
+
+        side = _pack_side(dc_deltas, escapes)
+        meta = _META.pack(
+            _META_MAGIC, _META_VERSION, self.quality,
+            image.shape[0], image.shape[1],
+            flat.shape[0], tokens.size, packed.n_bits,
+        )
+        sections = {
+            "meta": meta,
+            "tree": huffman.serialize_tree(code),
+            "codes": packed.data,
+            "unpred": side,
+            "coeffs": b"",
+            "exact": b"",
+            "aux": b"",
+        }
+        stats = ImageStats(
+            height=image.shape[0],
+            width=image.shape[1],
+            n_blocks=flat.shape[0],
+            n_tokens=int(tokens.size),
+            n_escapes=int(escapes.size),
+            quality=self.quality,
+            section_bytes={k: len(v) for k, v in sections.items()},
+        )
+        return sections, stats
+
+    def decode(self, sections: dict[str, bytes]) -> np.ndarray:
+        """Invert :meth:`encode`; returns a float64 image."""
+        info = self.parse_meta(sections["meta"])
+        n_blocks = info["n_blocks"]
+        code = huffman.deserialize_tree(sections["tree"])
+        packed = PackedBits(data=sections["codes"], n_bits=info["n_bits"])
+        tokens = huffman.decode(packed, code, info["n_tokens"])
+        dc_deltas, escapes = _unpack_side(sections["unpred"], n_blocks)
+
+        ac = _detokenize(tokens, escapes, n_blocks)
+        dc = np.cumsum(dc_deltas)
+        flat = np.concatenate([dc[:, np.newaxis], ac], axis=1)
+        quantized = flat[:, transform.INV_ZIGZAG].reshape(-1, 8, 8)
+
+        q = transform.quality_scaled_q(info["quality"])
+        coeffs = quantized.astype(np.float64) * q[np.newaxis]
+        blocks = transform.idct_blocks(coeffs)
+        h = -(-info["height"] // 8) * 8
+        w = -(-info["width"] // 8) * 8
+        image = transform.unblockify(
+            blocks, (h, w), (info["height"], info["width"])
+        )
+        return image + 128.0
+
+    @staticmethod
+    def parse_meta(meta: bytes) -> dict:
+        """Decode the image codec's ``meta`` section."""
+        if len(meta) != _META.size:
+            raise ValueError("bad image meta section length")
+        magic, version, quality, h, w, n_blocks, n_tokens, n_bits = (
+            _META.unpack(meta)
+        )
+        if magic != _META_MAGIC:
+            raise ValueError("bad frame magic; not an image frame")
+        if version != _META_VERSION:
+            raise ValueError(f"unsupported image frame version {version}")
+        if not 1 <= quality <= 100:
+            raise ValueError(f"corrupt quality {quality}")
+        return {
+            "quality": quality,
+            "height": int(h),
+            "width": int(w),
+            "n_blocks": int(n_blocks),
+            "n_tokens": int(n_tokens),
+            "n_bits": int(n_bits),
+        }
+
+
+def _tokenize(ac: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """AC rows -> (token array, escape values)."""
+    tokens: list[int] = []
+    escapes: list[int] = []
+    for row in ac:
+        nz = np.nonzero(row)[0]
+        prev = -1
+        for idx in nz:
+            run = int(idx) - prev - 1
+            prev = int(idx)
+            while run > 15:
+                tokens.append(ZRL)
+                run -= 16
+            value = int(row[idx])
+            if -_MAX_VALUE <= value <= _MAX_VALUE:
+                tokens.append((run << 12) | (value + _VALUE_BIAS))
+            else:
+                tokens.append(run << 12)  # value slot 0 = escape
+                escapes.append(value)
+        tokens.append(EOB)
+    return (
+        np.array(tokens, dtype=np.int64),
+        np.array(escapes, dtype=np.int64),
+    )
+
+
+def _detokenize(tokens: np.ndarray, escapes: np.ndarray,
+                n_blocks: int) -> np.ndarray:
+    """Invert :func:`_tokenize` back to (n_blocks, 63) AC rows."""
+    ac = np.zeros((n_blocks, 63), dtype=np.int64)
+    block = 0
+    pos = 0
+    esc = 0
+    for token in tokens.tolist():
+        if block >= n_blocks:
+            raise ValueError("token stream continues past the last block")
+        if token == EOB:
+            block += 1
+            pos = 0
+            continue
+        if token == ZRL:
+            pos += 16
+            continue
+        run = token >> 12
+        slot = token & 0xFFF
+        pos += run
+        if pos >= 63:
+            raise ValueError("token run overflows the block")
+        if slot == 0:
+            if esc >= escapes.size:
+                raise ValueError("missing escape value")
+            ac[block, pos] = escapes[esc]
+            esc += 1
+        else:
+            ac[block, pos] = slot - _VALUE_BIAS
+        pos += 1
+    if block != n_blocks:
+        raise ValueError("token stream ended before the last block")
+    if esc != escapes.size:
+        raise ValueError("unused escape values")
+    return ac
+
+
+def _pack_side(dc_deltas: np.ndarray, escapes: np.ndarray) -> bytes:
+    dc_bytes = intcodec.byteplane_encode(dc_deltas)
+    esc_bytes = intcodec.byteplane_encode(escapes)
+    return (
+        struct.pack("<QQ", len(dc_bytes), escapes.size)
+        + dc_bytes
+        + esc_bytes
+    )
+
+
+def _unpack_side(data: bytes, n_blocks: int) -> tuple[np.ndarray, np.ndarray]:
+    if len(data) < 16:
+        raise ValueError("image side channel shorter than its header")
+    dc_len, n_escapes = struct.unpack_from("<QQ", data)
+    if len(data) < 16 + dc_len:
+        raise ValueError("truncated image side channel")
+    dc_deltas = intcodec.byteplane_decode(data[16 : 16 + dc_len])
+    if dc_deltas.size != n_blocks:
+        raise ValueError("DC channel does not match block count")
+    escapes = intcodec.byteplane_decode(data[16 + dc_len :])
+    if escapes.size != n_escapes:
+        raise ValueError("escape channel does not match its header")
+    return dc_deltas, escapes

@@ -1,0 +1,60 @@
+"""Seeded synthetic grayscale test images.
+
+Four characters covering the codec's behaviour space:
+
+``gradient``
+    A smooth diagonal ramp — nearly all energy in the DC/low-AC
+    coefficients; compresses extremely well.
+``texture``
+    Band-limited noise — energy spread across the spectrum; the
+    hard-to-compress case.
+``scene``
+    Smooth blobs plus a few sharp edges — a natural-image stand-in.
+``document``
+    High-contrast text-like strokes on white — sparse, edge-dominated.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import ndimage
+
+__all__ = ["synthetic_image", "IMAGE_NAMES"]
+
+IMAGE_NAMES = ("gradient", "texture", "scene", "document")
+
+
+def synthetic_image(name: str, size: int = 128, *, seed: int = 2022) -> np.ndarray:
+    """Generate a ``size x size`` float64 image with values in [0, 255]."""
+    if size < 8:
+        raise ValueError("size must be at least one 8x8 block")
+    rng = np.random.default_rng(seed)
+    y, x = np.meshgrid(np.linspace(0, 1, size), np.linspace(0, 1, size),
+                       indexing="ij")
+    if name == "gradient":
+        img = 255.0 * (0.5 * x + 0.5 * y)
+    elif name == "texture":
+        img = 128.0 + 48.0 * ndimage.gaussian_filter(
+            rng.standard_normal((size, size)), sigma=1.0
+        ) / 0.28
+        img = np.clip(img, 0.0, 255.0)
+    elif name == "scene":
+        blobs = ndimage.gaussian_filter(
+            rng.standard_normal((size, size)), sigma=size / 12.0
+        )
+        blobs = 128.0 + 220.0 * blobs / max(np.abs(blobs).max(), 1e-9)
+        edges = 60.0 * ((x > 0.55) & (x < 0.6)).astype(np.float64)
+        img = np.clip(blobs + edges, 0.0, 255.0)
+    elif name == "document":
+        img = np.full((size, size), 245.0)
+        for row in range(size // 12, size, size // 8):
+            length = int(size * rng.uniform(0.4, 0.85))
+            start = rng.integers(2, max(3, size - length))
+            img[row : row + 2, start : start + length] = 15.0
+        img += 4.0 * rng.standard_normal((size, size))
+        img = np.clip(img, 0.0, 255.0)
+    else:
+        raise ValueError(
+            f"unknown image {name!r}; choose from {IMAGE_NAMES}"
+        )
+    return img.astype(np.float64)

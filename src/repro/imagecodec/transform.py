@@ -1,0 +1,114 @@
+"""Blockwise 2-D DCT, quantization matrices and zigzag ordering.
+
+The arithmetic follows baseline JPEG (ITU T.81): type-II DCT on 8x8
+blocks, the Annex K luminance quantization table scaled by the libjpeg
+quality curve, and the standard zigzag scan.  Everything is vectorized
+over all blocks at once (``scipy.fft.dctn`` accepts leading batch
+axes).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import fft
+
+__all__ = [
+    "BLOCK",
+    "LUMINANCE_Q",
+    "quality_scaled_q",
+    "blockify",
+    "unblockify",
+    "dct_blocks",
+    "idct_blocks",
+    "ZIGZAG",
+    "INV_ZIGZAG",
+]
+
+BLOCK = 8
+
+#: JPEG Annex K luminance quantization table.
+LUMINANCE_Q = np.array(
+    [
+        [16, 11, 10, 16, 24, 40, 51, 61],
+        [12, 12, 14, 19, 26, 58, 60, 55],
+        [14, 13, 16, 24, 40, 57, 69, 56],
+        [14, 17, 22, 29, 51, 87, 80, 62],
+        [18, 22, 37, 56, 68, 109, 103, 77],
+        [24, 35, 55, 64, 81, 104, 113, 92],
+        [49, 64, 78, 87, 103, 121, 120, 101],
+        [72, 92, 95, 98, 112, 100, 103, 99],
+    ],
+    dtype=np.float64,
+)
+
+
+def quality_scaled_q(quality: int) -> np.ndarray:
+    """The Annex K table under libjpeg's quality scaling (1-100)."""
+    if not 1 <= quality <= 100:
+        raise ValueError(f"quality must be 1..100, got {quality}")
+    scale = 5000.0 / quality if quality < 50 else 200.0 - 2.0 * quality
+    q = np.floor((LUMINANCE_Q * scale + 50.0) / 100.0)
+    return np.clip(q, 1.0, 255.0)
+
+
+def _pad(image: np.ndarray) -> np.ndarray:
+    h, w = image.shape
+    ph = (BLOCK - h % BLOCK) % BLOCK
+    pw = (BLOCK - w % BLOCK) % BLOCK
+    if ph or pw:
+        image = np.pad(image, ((0, ph), (0, pw)), mode="edge")
+    return image
+
+
+def blockify(image: np.ndarray) -> tuple[np.ndarray, tuple[int, int]]:
+    """Split a 2-D image into ``(n_blocks, 8, 8)``; returns padded shape."""
+    if image.ndim != 2:
+        raise ValueError("expected a 2-D grayscale image")
+    padded = _pad(np.asarray(image, dtype=np.float64))
+    h, w = padded.shape
+    blocks = (
+        padded.reshape(h // BLOCK, BLOCK, w // BLOCK, BLOCK)
+        .transpose(0, 2, 1, 3)
+        .reshape(-1, BLOCK, BLOCK)
+    )
+    return blocks, (h, w)
+
+
+def unblockify(blocks: np.ndarray, padded_shape: tuple[int, int],
+               shape: tuple[int, int]) -> np.ndarray:
+    """Invert :func:`blockify` and crop to the original ``shape``."""
+    h, w = padded_shape
+    image = (
+        blocks.reshape(h // BLOCK, w // BLOCK, BLOCK, BLOCK)
+        .transpose(0, 2, 1, 3)
+        .reshape(h, w)
+    )
+    return image[: shape[0], : shape[1]]
+
+
+def dct_blocks(blocks: np.ndarray) -> np.ndarray:
+    """Orthonormal type-II DCT over the last two axes of all blocks."""
+    return fft.dctn(blocks, axes=(-2, -1), norm="ortho")
+
+
+def idct_blocks(coeffs: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`dct_blocks`."""
+    return fft.idctn(coeffs, axes=(-2, -1), norm="ortho")
+
+
+def _zigzag_order() -> np.ndarray:
+    """Flat indices of the 8x8 zigzag scan, derived (not transcribed)."""
+    order = sorted(
+        ((r, c) for r in range(BLOCK) for c in range(BLOCK)),
+        key=lambda rc: (
+            rc[0] + rc[1],
+            rc[1] if (rc[0] + rc[1]) % 2 == 0 else rc[0],
+        ),
+    )
+    return np.array([r * BLOCK + c for r, c in order], dtype=np.intp)
+
+
+#: Flat zigzag scan indices (position i of the scan reads flat ZIGZAG[i]).
+ZIGZAG = _zigzag_order()
+#: Inverse permutation.
+INV_ZIGZAG = np.argsort(ZIGZAG)

@@ -1,0 +1,18 @@
+"""An MGARD-like multilevel error-bounded codec (third substrate).
+
+MGARD (paper ref. [53]) compresses scientific data by a multigrid
+decomposition: the field is recursively coarsened, the detail the
+coarse grid cannot represent is quantized under an error budget, and
+the quantized multilevel coefficients are entropy-coded.  This package
+implements that structure — separable dyadic coarsening with linear
+interpolation prediction, per-pass error-budget allocation that
+guarantees a global L-infinity bound, and the same canonical-Huffman /
+section machinery as the SZ pipeline — so the paper's Encr-Huffman /
+Encr-Quant ideas demonstrably apply to a *third* Huffman-leveraging
+compressor family.
+"""
+
+from repro.multilevel.codec import MultilevelCodec, MultilevelStats
+from repro.multilevel.pipeline import SecureMultilevelCompressor
+
+__all__ = ["MultilevelCodec", "MultilevelStats", "SecureMultilevelCompressor"]

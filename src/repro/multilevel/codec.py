@@ -1,0 +1,236 @@
+"""The multilevel codec: decomposition + budgeted quantization +
+canonical Huffman, emitting the standard scheme-compatible sections.
+
+Error-budget accounting (the codec's central guarantee): each detail
+pass quantizes residuals to within ``b``; by the non-expansiveness of
+the interpolation predictor, reconstruction error grows by at most
+``b`` per pass, and the quantized coarsest grid adds one more ``b``.
+With ``P = levels x ndim`` passes and budget ``b = eb / (P + 1)``, the
+decoded field satisfies ``|u' - u| <= eb`` everywhere.  (This uniform
+allocation is deliberately simple; MGARD's norm-aware allocation is
+sharper but the guarantee is the same.)
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.multilevel import transform
+from repro.sz import huffman, intcodec, quantizer
+from repro.sz.bitstream import PackedBits
+
+__all__ = ["MultilevelCodec", "MultilevelStats"]
+
+_META = struct.Struct("<4sBBBddQQ")  # magic, ver, ndim, levels, eb, budget, ntot, nbits
+_META_MAGIC = b"MLfr"
+_META_VERSION = 1
+
+
+@dataclass
+class MultilevelStats:
+    """Encoder statistics for one multilevel compression."""
+
+    shape: tuple[int, ...]
+    levels: int
+    n_details: int
+    eb: float
+    section_bytes: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def quant_array_bytes(self) -> int:
+        """Huffman tree + coefficient bitstream."""
+        return self.section_bytes["tree"] + self.section_bytes["codes"]
+
+    @property
+    def tree_fraction_of_quant(self) -> float:
+        denom = self.quant_array_bytes
+        return self.section_bytes["tree"] / denom if denom else 0.0
+
+
+class MultilevelCodec:
+    """MGARD-style error-bounded multilevel compressor.
+
+    Parameters
+    ----------
+    error_bound:
+        Absolute (L-infinity) bound on the reconstruction.
+    max_levels:
+        Cap on decomposition depth (the data's shape may allow fewer).
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> codec = MultilevelCodec(1e-3)
+    >>> u = np.sin(np.linspace(0, 6, 64)).reshape(8, 8)
+    >>> sections, stats = codec.encode(u)
+    >>> err = np.abs(codec.decode(sections) - u).max()
+    >>> bool(err <= 1e-3)
+    True
+    """
+
+    def __init__(self, error_bound: float = 1e-3, *, max_levels: int = 8) -> None:
+        if not error_bound > 0:
+            raise ValueError("error bound must be positive")
+        self.error_bound = float(error_bound)
+        self.max_levels = int(max_levels)
+
+    # ------------------------------------------------------------------
+
+    def encode(self, data: np.ndarray) -> tuple[dict[str, bytes], MultilevelStats]:
+        """Decompose, quantize and entropy-code ``data``."""
+        data = np.asarray(data)
+        if data.dtype not in (np.float32, np.float64):
+            raise TypeError("multilevel codec expects float32/float64 data")
+        if data.ndim < 1 or data.ndim > 4 or data.size == 0:
+            raise ValueError("expected non-empty 1-4 dimensional data")
+        levels = transform.plan_levels(data.shape, max_levels=self.max_levels)
+        n_passes = levels * data.ndim
+        # Uniform per-pass budget.  The final cast back to the input
+        # dtype can add up to half a ulp of the largest magnitude, so
+        # that margin is carved out of the user's bound up front (and
+        # the bound is rejected when it is below the representable
+        # resolution, as any codec must).
+        peak = float(np.abs(data).max()) + self.error_bound
+        margin = 0.5 * float(np.spacing(np.asarray(peak, dtype=data.dtype)))
+        if margin >= 0.5 * self.error_bound:
+            raise ValueError(
+                f"error bound {self.error_bound:g} is at or below the "
+                f"{data.dtype} resolution ({2 * margin:g}) of this data"
+            )
+        budget = (self.error_bound - margin) / (n_passes + 1)
+
+        # Even samples pass through every split *exactly* (only the
+        # coarsest grid and the details are quantized), so each point's
+        # reconstruction error telescopes to at most one budget unit
+        # per pass plus one for the coarsest grid — see module docs.
+        current = data.astype(np.float64)
+        detail_codes: list[np.ndarray] = []
+        for _ in range(levels):
+            for axis in range(data.ndim):
+                current, detail = transform.split_axis(current, axis)
+                q = quantizer.grid_quantize(detail, budget)
+                detail_codes.append(np.ravel(q))
+        all_codes = (
+            np.concatenate(detail_codes) if detail_codes
+            else np.empty(0, np.int64)
+        )
+        coarse_q = quantizer.grid_quantize(current, budget)
+
+        if all_codes.size:
+            symbols, counts = np.unique(all_codes, return_counts=True)
+            code = huffman.build_code(symbols, counts)
+            packed = huffman.encode(all_codes, code)
+            tree_bytes = huffman.serialize_tree(code)
+        else:
+            packed = PackedBits(data=b"", n_bits=0)
+            tree_bytes = huffman.serialize_tree(
+                huffman.build_code(np.empty(0, np.int64), np.empty(0, np.int64))
+            )
+
+        dims = struct.pack(f"<{data.ndim}Q", *data.shape)
+        meta = _META.pack(
+            _META_MAGIC, _META_VERSION, data.ndim, levels,
+            self.error_bound, budget, all_codes.size, packed.n_bits,
+        ) + dims + struct.pack("<B", 0 if data.dtype == np.float32 else 1)
+        sections = {
+            "meta": meta,
+            "tree": tree_bytes,
+            "codes": packed.data,
+            "unpred": intcodec.byteplane_encode(np.ravel(coarse_q)),
+            "coeffs": b"",
+            "exact": b"",
+            "aux": b"",
+        }
+        stats = MultilevelStats(
+            shape=data.shape,
+            levels=levels,
+            n_details=int(all_codes.size),
+            eb=self.error_bound,
+            section_bytes={k: len(v) for k, v in sections.items()},
+        )
+        return sections, stats
+
+    def decode(self, sections: dict[str, bytes]) -> np.ndarray:
+        """Invert :meth:`encode` within the error bound."""
+        info = self.parse_meta(sections["meta"])
+        shape = info["shape"]
+        ndim = len(shape)
+        levels = info["levels"]
+        n_passes = levels * ndim
+        # The exact grid scale the encoder used travels in the meta.
+        budget = info["budget"]
+        if not budget > 0:
+            raise ValueError("corrupt multilevel budget")
+
+        # Replay the decomposition's shape bookkeeping.
+        pass_shapes: list[tuple[int, ...]] = []
+        dims = list(shape)
+        for _ in range(levels):
+            for axis in range(ndim):
+                coarse_len = (dims[axis] + 1) // 2
+                detail_dims = tuple(
+                    dims[i] - coarse_len if i == axis else dims[i]
+                    for i in range(ndim)
+                )
+                pass_shapes.append(detail_dims)
+                dims[axis] = coarse_len
+
+        code = huffman.deserialize_tree(sections["tree"])
+        packed = PackedBits(data=sections["codes"], n_bits=info["n_bits"])
+        all_codes = (
+            huffman.decode(packed, code, info["n_details"])
+            if info["n_details"]
+            else np.empty(0, np.int64)
+        )
+        coarse_q = intcodec.byteplane_decode(sections["unpred"])
+        if coarse_q.size != int(np.prod(dims)):
+            raise ValueError("coarse grid does not match the meta shape")
+        current = quantizer.grid_reconstruct(
+            coarse_q, budget, np.float64
+        ).reshape(dims)
+
+        offsets = np.cumsum([int(np.prod(s)) for s in pass_shapes])
+        if info["n_details"] != (offsets[-1] if len(offsets) else 0):
+            raise ValueError("detail stream does not match the meta shape")
+        for pass_idx in range(n_passes - 1, -1, -1):
+            detail_shape = pass_shapes[pass_idx]
+            start = offsets[pass_idx] - int(np.prod(detail_shape))
+            q = all_codes[start : offsets[pass_idx]].reshape(detail_shape)
+            detail = quantizer.grid_reconstruct(q, budget, np.float64)
+            axis = pass_idx % ndim
+            current = transform.merge_axis(current, detail, axis)
+        return current.astype(info["dtype"])
+
+    @staticmethod
+    def parse_meta(meta: bytes) -> dict:
+        """Decode the multilevel codec's ``meta`` section."""
+        if len(meta) < _META.size + 1:
+            raise ValueError("multilevel meta section too short")
+        magic, version, ndim, levels, eb, budget, n_details, n_bits = (
+            _META.unpack_from(meta)
+        )
+        if magic != _META_MAGIC:
+            raise ValueError("bad frame magic; not a multilevel frame")
+        if version != _META_VERSION:
+            raise ValueError(f"unsupported multilevel version {version}")
+        if not 1 <= ndim <= 4:
+            raise ValueError(f"corrupt ndim {ndim}")
+        expect = _META.size + 8 * ndim + 1
+        if len(meta) != expect:
+            raise ValueError("multilevel meta section length mismatch")
+        shape = struct.unpack_from(f"<{ndim}Q", meta, _META.size)
+        dtype_code = meta[-1]
+        if dtype_code not in (0, 1):
+            raise ValueError(f"corrupt dtype code {dtype_code}")
+        return {
+            "shape": tuple(int(s) for s in shape),
+            "levels": levels,
+            "eb": eb,
+            "budget": budget,
+            "n_details": int(n_details),
+            "n_bits": int(n_bits),
+            "dtype": np.float32 if dtype_code == 0 else np.float64,
+        }

@@ -1,0 +1,83 @@
+"""Separable dyadic multilevel decomposition with interpolation
+prediction.
+
+One 1-D *pass* along an axis splits the signal into its even samples
+(the coarse grid) and the residuals of the odd samples against linear
+interpolation of their coarse neighbours (the details):
+
+    coarse[i]  = u[2i]
+    detail[i]  = u[2i+1] - (coarse[i] + coarse[i+1]) / 2      (interior)
+    detail[-1] = u[2i+1] - coarse[i]                          (odd tail)
+
+The inverse is exact.  Crucially for the error analysis, linear
+interpolation is max-norm non-expansive: perturbing the coarse samples
+by at most ``e`` perturbs every interpolated value by at most ``e``,
+so each quantized detail pass adds at most its own quantization error
+to the running L-infinity error (see ``codec.MultilevelCodec``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["split_axis", "merge_axis", "plan_levels"]
+
+
+def split_axis(u: np.ndarray, axis: int) -> tuple[np.ndarray, np.ndarray]:
+    """One coarsening pass along ``axis``; returns (coarse, detail)."""
+    u = np.moveaxis(u, axis, 0)
+    coarse = u[0::2]
+    odd = u[1::2]
+    if odd.shape[0] == 0:
+        detail = odd
+    else:
+        pred = coarse[: odd.shape[0]].astype(np.float64).copy()
+        # Interior odd samples interpolate their two even neighbours;
+        # a trailing odd sample (even input length) only has the left.
+        n_interior = min(odd.shape[0], coarse.shape[0] - 1)
+        if n_interior > 0:
+            pred[:n_interior] = 0.5 * (
+                coarse[:n_interior].astype(np.float64)
+                + coarse[1 : n_interior + 1].astype(np.float64)
+            )
+        detail = odd.astype(np.float64) - pred
+    return (
+        np.moveaxis(coarse, 0, axis),
+        np.moveaxis(detail, 0, axis),
+    )
+
+
+def merge_axis(coarse: np.ndarray, detail: np.ndarray, axis: int) -> np.ndarray:
+    """Invert :func:`split_axis`."""
+    coarse = np.moveaxis(coarse, axis, 0)
+    detail = np.moveaxis(detail, axis, 0)
+    n = coarse.shape[0] + detail.shape[0]
+    out = np.empty((n, *coarse.shape[1:]), dtype=np.float64)
+    out[0::2] = coarse
+    if detail.shape[0]:
+        pred = coarse[: detail.shape[0]].astype(np.float64).copy()
+        n_interior = min(detail.shape[0], coarse.shape[0] - 1)
+        if n_interior > 0:
+            pred[:n_interior] = 0.5 * (
+                coarse[:n_interior].astype(np.float64)
+                + coarse[1 : n_interior + 1].astype(np.float64)
+            )
+        out[1::2] = detail + pred
+    return np.moveaxis(out, 0, axis)
+
+
+def plan_levels(shape: tuple[int, ...], *, min_size: int = 4,
+                max_levels: int = 8) -> int:
+    """How many full decomposition levels the shape supports.
+
+    Every axis must stay at least ``min_size`` long at the coarsest
+    level (shorter axes stop contributing information to predict from).
+    """
+    levels = 0
+    dims = list(shape)
+    while levels < max_levels:
+        if any((d + 1) // 2 < min_size for d in dims):
+            break
+        dims = [(d + 1) // 2 for d in dims]
+        levels += 1
+    return levels

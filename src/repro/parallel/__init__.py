@@ -1,0 +1,23 @@
+"""Chunked multi-process secure compression (HPC extension).
+
+The paper runs single-threaded (Sec. V-A); this optional extension
+splits a field into slabs along axis 0 and compresses each slab in a
+worker process — the natural way to use the schemes inside an MPI-style
+HPC pipeline where each rank owns a domain slab.  Each slab gets its
+own container (and its own IV: CBC must never reuse one), concatenated
+under a tiny multi-chunk framing.
+
+>>> import numpy as np
+>>> from repro.parallel import ChunkedSecureCompressor
+>>> csc = ChunkedSecureCompressor(scheme="encr_huffman", error_bound=1e-3,
+...                               key=bytes(16), n_chunks=2, n_workers=1)
+>>> data = np.random.default_rng(0).random((16, 16, 16)).astype(np.float32)
+>>> blob = csc.compress(data)
+>>> bool(np.max(np.abs(csc.decompress(blob) - data)) <= 1e-3)
+True
+"""
+
+from repro.parallel.chunked import ChunkedSecureCompressor
+from repro.parallel.filestream import compress_file, decompress_file
+
+__all__ = ["ChunkedSecureCompressor", "compress_file", "decompress_file"]

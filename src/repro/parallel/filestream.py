@@ -1,0 +1,117 @@
+"""Streaming file-to-file secure compression.
+
+For fields too large to hold in memory (the paper's QI/T are 5.8 GB),
+the compressor memory-maps the raw input, processes one axis-0 slab at
+a time, and appends each slab's container to the output as it
+completes.  The on-disk format is the same SECM multi-chunk framing as
+:class:`~repro.parallel.chunked.ChunkedSecureCompressor`, written
+incrementally: the chunk-length table is back-patched after the last
+slab, so compression needs only one slab of working memory.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+
+import numpy as np
+
+from repro.core.pipeline import SecureCompressor
+from repro.parallel.chunked import _HEADER, _MAGIC
+
+__all__ = ["compress_file", "decompress_file"]
+
+
+def compress_file(
+    in_path: str | os.PathLike,
+    out_path: str | os.PathLike,
+    shape: tuple[int, ...],
+    *,
+    dtype: np.dtype | str = np.float32,
+    slab_rows: int = 16,
+    **compressor_kwargs,
+) -> int:
+    """Compress a raw binary field file slab-by-slab.
+
+    Parameters
+    ----------
+    in_path:
+        Headerless C-order binary field (SDRBench layout).
+    out_path:
+        Destination SECM file.
+    shape, dtype:
+        The field's dimensions and element type.
+    slab_rows:
+        Axis-0 rows per slab (working-set control).
+    compressor_kwargs:
+        Forwarded to :class:`~repro.core.pipeline.SecureCompressor`
+        (scheme, error_bound, key, ...).
+
+    Returns the number of slabs written.
+    """
+    if slab_rows < 1:
+        raise ValueError("slab_rows must be positive")
+    dtype = np.dtype(dtype)
+    expected = int(np.prod(shape)) * dtype.itemsize
+    if os.path.getsize(in_path) != expected:
+        raise ValueError(
+            f"{in_path}: size does not match shape {shape} / dtype {dtype}"
+        )
+    field = np.memmap(in_path, dtype=dtype, mode="r", shape=tuple(shape))
+    sc = SecureCompressor(**compressor_kwargs)
+    n_slabs = -(-shape[0] // slab_rows)
+    lengths: list[int] = []
+    with open(out_path, "wb") as out:
+        out.write(_HEADER.pack(_MAGIC, n_slabs))
+        table_pos = out.tell()
+        out.write(b"\x00" * 8 * n_slabs)  # back-patched below
+        for s in range(n_slabs):
+            slab = np.ascontiguousarray(
+                field[s * slab_rows : (s + 1) * slab_rows]
+            )
+            container = sc.compress(slab).container
+            lengths.append(len(container))
+            out.write(container)
+        out.seek(table_pos)
+        out.write(struct.pack(f"<{n_slabs}Q", *lengths))
+    return n_slabs
+
+
+def decompress_file(
+    in_path: str | os.PathLike,
+    out_path: str | os.PathLike,
+    **compressor_kwargs,
+) -> tuple[int, ...]:
+    """Invert :func:`compress_file`, streaming slabs to ``out_path``.
+
+    Returns the shape of the restored field (axis 0 is the slab
+    concatenation; trailing axes come from the first slab).
+    """
+    sc = SecureCompressor(**compressor_kwargs)
+    rows = 0
+    tail_shape: tuple[int, ...] | None = None
+    with open(in_path, "rb") as inp, open(out_path, "wb") as out:
+        head = inp.read(_HEADER.size)
+        if len(head) < _HEADER.size:
+            raise ValueError("SECM file shorter than its header")
+        magic, n_slabs = _HEADER.unpack(head)
+        if magic != _MAGIC:
+            raise ValueError("bad magic; not a SECM file")
+        table = inp.read(8 * n_slabs)
+        if len(table) < 8 * n_slabs:
+            raise ValueError("truncated SECM length table")
+        lengths = struct.unpack(f"<{n_slabs}Q", table)
+        for length in lengths:
+            container = inp.read(length)
+            if len(container) < length:
+                raise ValueError("truncated SECM payload")
+            slab = sc.decompress(container)
+            if tail_shape is None:
+                tail_shape = slab.shape[1:]
+            elif slab.shape[1:] != tail_shape:
+                raise ValueError("inconsistent slab shapes in SECM file")
+            rows += slab.shape[0]
+            out.write(np.ascontiguousarray(slab).tobytes())
+        if inp.read(1):
+            raise ValueError("trailing bytes after SECM payload")
+    return (rows, *(tail_shape or ()))

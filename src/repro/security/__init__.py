@@ -1,0 +1,27 @@
+"""Security and randomness analysis (paper Sections V-F and V-G).
+
+* :mod:`repro.security.nist` — the complete NIST SP800-22 statistical
+  test suite (all 15 tests), used to reproduce Table VI's pass rates.
+* :mod:`repro.security.entropy` — (local) Shannon entropy, the paper's
+  Sec. V-E argument for why Encr-Quant slows the zlib stage.
+* :mod:`repro.security.keyspace` — brute-force / biclique cost models
+  behind the Sec. V-G security claims.
+* :mod:`repro.security.attacks` — the bit-flip corruption harness from
+  the motivation (Sec. III-A, refs [11], [44]): how lossy-compressed
+  streams fail under single-bit perturbation, with and without the
+  schemes' protection.
+"""
+
+from repro.security.entropy import local_entropy_profile, shannon_entropy
+from repro.security.keyspace import BruteForceModel, biclique_complexity
+from repro.security.nist import NistSuiteResult, run_all_tests, run_suite
+
+__all__ = [
+    "run_suite",
+    "run_all_tests",
+    "NistSuiteResult",
+    "shannon_entropy",
+    "local_entropy_profile",
+    "BruteForceModel",
+    "biclique_complexity",
+]

@@ -1,0 +1,103 @@
+"""Bit-flip corruption harness (paper Sec. III-A motivation).
+
+"Prior work shows that lossy compression cannot withstand the
+consequences of bits being corrupted.  Even a single bit-corruption can
+result in the complete failure of decompression" (refs [11], [44]).
+This module injects single-bit flips into SECZ containers and
+classifies the outcome, quantifying that fragility — and showing how
+much of the stream is integrity-critical under each scheme.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.pipeline import SecureCompressor
+
+__all__ = ["FlipOutcome", "flip_bit", "bit_flip_study"]
+
+#: Outcome classes for one injected flip.
+OUTCOMES = ("decode_error", "bound_violated", "silent_corruption", "harmless")
+
+
+@dataclass(frozen=True)
+class FlipOutcome:
+    """Classification of one single-bit corruption experiment."""
+
+    bit_index: int
+    outcome: str
+    max_error: float
+
+    def __post_init__(self) -> None:
+        if self.outcome not in OUTCOMES:
+            raise ValueError(f"unknown outcome {self.outcome!r}")
+
+
+def flip_bit(blob: bytes, bit_index: int) -> bytes:
+    """Return ``blob`` with one bit flipped (MSB-first indexing)."""
+    if not 0 <= bit_index < 8 * len(blob):
+        raise ValueError(f"bit index {bit_index} out of range")
+    buf = bytearray(blob)
+    buf[bit_index // 8] ^= 0x80 >> (bit_index % 8)
+    return bytes(buf)
+
+
+def bit_flip_study(
+    compressor: SecureCompressor,
+    data: np.ndarray,
+    *,
+    n_flips: int = 64,
+    rng: np.random.Generator | None = None,
+) -> list[FlipOutcome]:
+    """Flip ``n_flips`` random bits of a fresh container, one at a time.
+
+    Outcome classes:
+
+    ``decode_error``
+        Decompression raised (the common case: headers, zlib streams
+        and Huffman trees are brittle — the paper's "complete failure").
+    ``bound_violated``
+        Decoded, but some point exceeds the error bound: exactly the
+        silent hazard ref. [11] warns about.
+    ``silent_corruption``
+        Decoded within the bound but not equal to the clean
+        decompression (possible in plaintext verbatim sections).
+    ``harmless``
+        Output identical to the clean decompression (flip hit padding
+        or a dont-care byte).
+    """
+    if rng is None:
+        rng = np.random.default_rng()
+    result = compressor.compress(data)
+    clean = compressor.decompress(result.container)
+    eb = compressor.sz.error_bound.resolve(data)
+    outcomes: list[FlipOutcome] = []
+    total_bits = 8 * len(result.container)
+    for bit_index in rng.choice(total_bits, size=min(n_flips, total_bits),
+                                replace=False):
+        corrupted = flip_bit(result.container, int(bit_index))
+        try:
+            decoded = compressor.decompress(corrupted)
+        except Exception:
+            outcomes.append(
+                FlipOutcome(int(bit_index), "decode_error", float("inf"))
+            )
+            continue
+        if decoded.shape != data.shape:
+            outcomes.append(
+                FlipOutcome(int(bit_index), "decode_error", float("inf"))
+            )
+            continue
+        err = float(
+            np.max(np.abs(decoded.astype(np.float64) - data.astype(np.float64)))
+        )
+        if err > eb:
+            outcome = "bound_violated"
+        elif np.array_equal(decoded, clean):
+            outcome = "harmless"
+        else:
+            outcome = "silent_corruption"
+        outcomes.append(FlipOutcome(int(bit_index), outcome, err))
+    return outcomes

@@ -1,0 +1,186 @@
+"""NIST SP800-22 rev. 1a statistical test suite (all 15 tests).
+
+The paper evaluates output randomness by splitting the compressed file
+into several bitstreams, running each through the suite, and reporting
+per-test pass rates (Table VI): a stream passes a test when its
+p-value is at least 0.01.
+
+Usage::
+
+    from repro.security.nist import run_suite
+    result = run_suite(container_bytes, n_streams=12)
+    print(result.format_table())
+
+Each test lives in its own module; :func:`run_all_tests` runs them on
+one bit array, returning ``{test name: p-value}`` with ``nan`` for
+tests whose applicability preconditions (minimum stream length, cycle
+count, ...) the input does not meet — those are excluded from the pass
+rate, mirroring how the reference suite reports them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.security.nist.bits import bytes_to_bits
+from repro.security.nist.tests_basic import (
+    block_frequency_test,
+    cumulative_sums_test,
+    frequency_test,
+    longest_run_test,
+    runs_test,
+)
+from repro.security.nist.tests_complexity import linear_complexity_test
+from repro.security.nist.tests_entropy import (
+    approximate_entropy_test,
+    serial_test,
+)
+from repro.security.nist.tests_excursions import (
+    random_excursions_test,
+    random_excursions_variant_test,
+)
+from repro.security.nist.tests_matrix import binary_matrix_rank_test
+from repro.security.nist.tests_spectral import dft_test
+from repro.security.nist.tests_template import (
+    non_overlapping_template_test,
+    overlapping_template_test,
+)
+from repro.security.nist.tests_universal import universal_test
+
+__all__ = [
+    "TEST_NAMES",
+    "ALPHA",
+    "run_all_tests",
+    "run_suite",
+    "NistSuiteResult",
+    "bytes_to_bits",
+]
+
+#: Significance level: p >= ALPHA passes (paper Sec. V-B).
+ALPHA = 0.01
+
+#: Paper Table VI row order.
+TEST_NAMES = (
+    "frequency",
+    "block_frequency",
+    "runs",
+    "longest_run",
+    "binary_matrix_rank",
+    "spectral_dft",
+    "non_overlapping_template",
+    "overlapping_template",
+    "universal",
+    "linear_complexity",
+    "serial",
+    "approximate_entropy",
+    "cumulative_sums",
+    "random_excursions",
+    "random_excursions_variant",
+)
+
+_DISPATCH = {
+    "frequency": frequency_test,
+    "block_frequency": block_frequency_test,
+    "runs": runs_test,
+    "longest_run": longest_run_test,
+    "binary_matrix_rank": binary_matrix_rank_test,
+    "spectral_dft": dft_test,
+    "non_overlapping_template": non_overlapping_template_test,
+    "overlapping_template": overlapping_template_test,
+    "universal": universal_test,
+    "linear_complexity": linear_complexity_test,
+    "serial": serial_test,
+    "approximate_entropy": approximate_entropy_test,
+    "cumulative_sums": cumulative_sums_test,
+    "random_excursions": random_excursions_test,
+    "random_excursions_variant": random_excursions_variant_test,
+}
+
+
+def run_all_tests(bits: np.ndarray) -> dict[str, float]:
+    """Run every SP800-22 test on one 0/1 bit array.
+
+    Returns the worst (minimum) p-value for multi-p tests (serial,
+    cumulative sums, the excursion families) so that "pass" means
+    *every* sub-statistic passed, matching the conservative reading of
+    Table VI.  Not-applicable tests return ``nan``.
+    """
+    bits = np.asarray(bits, dtype=np.uint8)
+    return {name: float(fn(bits)) for name, fn in _DISPATCH.items()}
+
+
+@dataclass(frozen=True)
+class NistSuiteResult:
+    """Pass rates over the split bitstreams (one Table VI column)."""
+
+    n_streams: int
+    stream_bits: int
+    p_values: dict[str, tuple[float, ...]]
+
+    def pass_rate(self, test: str) -> float:
+        """Fraction of applicable streams passing ``test`` (``nan``
+        when the test was not run or never applicable)."""
+        ps = [p for p in self.p_values.get(test, ()) if not math.isnan(p)]
+        if not ps:
+            return float("nan")
+        return sum(p >= ALPHA for p in ps) / len(ps)
+
+    def pass_rates(self) -> dict[str, float]:
+        """Pass rates for the tests that ran, Table VI order."""
+        return {
+            name: self.pass_rate(name)
+            for name in TEST_NAMES
+            if name in self.p_values
+        }
+
+    @property
+    def all_pass(self) -> bool:
+        """True when every applicable stream passed every test."""
+        return all(
+            math.isnan(r) or r == 1.0 for r in self.pass_rates().values()
+        )
+
+    def format_table(self, label: str = "Pass Rate") -> str:
+        """Render as an ASCII table shaped like the paper's Table VI."""
+        width = max(len(n) for n in TEST_NAMES) + 2
+        lines = [f"{'Statistical test':<{width}}{label}"]
+        for name in self.pass_rates():
+            rate = self.pass_rate(name)
+            cell = "n/a" if math.isnan(rate) else f"{100.0 * rate:.2f}%"
+            lines.append(f"{name:<{width}}{cell}")
+        return "\n".join(lines)
+
+
+def run_suite(data: bytes, *, n_streams: int = 12,
+              tests: tuple[str, ...] = TEST_NAMES) -> NistSuiteResult:
+    """Split ``data`` into equal bitstreams and run the suite on each.
+
+    Mirrors the paper's protocol ("the compressed data file is
+    separated into several bit streams, each of which is evaluated
+    independently").  Twelve streams reproduce Table VI's rate
+    granularity (58.33 % = 7/12).
+    """
+    if n_streams < 1:
+        raise ValueError("need at least one stream")
+    unknown = set(tests) - set(TEST_NAMES)
+    if unknown:
+        raise ValueError(f"unknown tests: {sorted(unknown)}")
+    all_bits = bytes_to_bits(data)
+    stream_len = all_bits.size // n_streams
+    if stream_len == 0:
+        raise ValueError(
+            f"{len(data)} bytes cannot be split into {n_streams} streams"
+        )
+    p_values: dict[str, list[float]] = {name: [] for name in tests}
+    for s in range(n_streams):
+        chunk = all_bits[s * stream_len : (s + 1) * stream_len]
+        for name in tests:
+            p_values[name].append(float(_DISPATCH[name](chunk)))
+    return NistSuiteResult(
+        n_streams=n_streams,
+        stream_bits=stream_len,
+        p_values={k: tuple(v) for k, v in p_values.items()},
+    )

@@ -1,0 +1,42 @@
+"""Bit-level helpers shared by the SP800-22 tests."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["bytes_to_bits", "pattern_counts", "to_pm_ones"]
+
+
+def bytes_to_bits(data: bytes | np.ndarray) -> np.ndarray:
+    """Expand bytes into a ``uint8`` 0/1 array (MSB first)."""
+    buf = np.frombuffer(data, dtype=np.uint8) if isinstance(
+        data, (bytes, bytearray)
+    ) else np.asarray(data, dtype=np.uint8)
+    return np.unpackbits(buf)
+
+
+def to_pm_ones(bits: np.ndarray) -> np.ndarray:
+    """Map {0,1} to {-1,+1} as int8 (the X_i = 2ε_i − 1 convention)."""
+    return (2 * bits.astype(np.int8) - 1).astype(np.int8)
+
+
+def pattern_counts(bits: np.ndarray, m: int) -> np.ndarray:
+    """Occurrences of every overlapping m-bit pattern, with wrap-around.
+
+    Returns an array of length ``2**m``; entry ``v`` counts windows
+    whose bits read (MSB first) as the integer ``v``.  The circular
+    extension matches the serial / approximate-entropy definitions.
+    """
+    if m < 1:
+        raise ValueError("pattern length must be positive")
+    n = bits.size
+    if n == 0:
+        return np.zeros(1 << m, dtype=np.int64)
+    ext = np.concatenate([bits, bits[: m - 1]]) if m > 1 else bits
+    # Rolling window value via the standard powers-of-two dot product.
+    weights = (1 << np.arange(m - 1, -1, -1)).astype(np.int64)
+    windows = np.lib.stride_tricks.sliding_window_view(
+        ext.astype(np.int64), m
+    )
+    values = windows @ weights
+    return np.bincount(values, minlength=1 << m).astype(np.int64)

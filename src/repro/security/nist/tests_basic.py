@@ -1,0 +1,132 @@
+"""SP800-22 tests 1-4 and 13: frequency, block frequency, runs,
+longest-run-of-ones, and cumulative sums.
+
+Each function takes a 0/1 ``uint8`` array and returns a p-value in
+[0, 1] (``nan`` when the test's length preconditions are not met).
+Section numbers refer to NIST SP800-22 rev. 1a.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from scipy import special, stats
+
+__all__ = [
+    "frequency_test",
+    "block_frequency_test",
+    "runs_test",
+    "longest_run_test",
+    "cumulative_sums_test",
+]
+
+
+def frequency_test(bits: np.ndarray) -> float:
+    """2.1 Frequency (monobit): are ones and zeros balanced?"""
+    n = bits.size
+    if n < 100:
+        return float("nan")
+    s = abs(int(bits.sum()) * 2 - n)
+    return float(special.erfc(s / math.sqrt(n) / math.sqrt(2.0)))
+
+
+def block_frequency_test(bits: np.ndarray, block_size: int = 128) -> float:
+    """2.2 Block frequency: balance inside M-bit blocks."""
+    n = bits.size
+    n_blocks = n // block_size
+    if n < 100 or n_blocks < 1:
+        return float("nan")
+    trimmed = bits[: n_blocks * block_size].reshape(n_blocks, block_size)
+    proportions = trimmed.mean(axis=1, dtype=np.float64)
+    chi_sq = 4.0 * block_size * float(((proportions - 0.5) ** 2).sum())
+    return float(special.gammaincc(n_blocks / 2.0, chi_sq / 2.0))
+
+
+def runs_test(bits: np.ndarray) -> float:
+    """2.3 Runs: number of maximal same-bit runs."""
+    n = bits.size
+    if n < 100:
+        return float("nan")
+    pi = float(bits.mean(dtype=np.float64))
+    # Pre-test (SP800-22 eq. 2.3.4): frequency must already be sane.
+    if abs(pi - 0.5) >= 2.0 / math.sqrt(n):
+        return 0.0
+    v_n = 1 + int((bits[1:] != bits[:-1]).sum())
+    num = abs(v_n - 2.0 * n * pi * (1.0 - pi))
+    den = 2.0 * math.sqrt(2.0 * n) * pi * (1.0 - pi)
+    return float(special.erfc(num / den))
+
+
+# (M, K, class boundaries, class probabilities) per SP800-22 2.4.4.
+_LONGEST_RUN_CONFIGS = (
+    # min n, M, boundaries (longest run clipped into [lo, hi]), pi
+    (750000, 10000, (10, 16),
+     (0.0882, 0.2092, 0.2483, 0.1933, 0.1208, 0.0675, 0.0727)),
+    (6272, 128, (4, 9),
+     (0.1174, 0.2430, 0.2493, 0.1752, 0.1027, 0.1124)),
+    (128, 8, (1, 4),
+     (0.2148, 0.3672, 0.2305, 0.1875)),
+)
+
+
+def _longest_run_per_block(blocks: np.ndarray) -> np.ndarray:
+    """Longest run of ones in each row of a 2-D 0/1 array."""
+    n_blocks, m = blocks.shape
+    longest = np.zeros(n_blocks, dtype=np.int64)
+    current = np.zeros(n_blocks, dtype=np.int64)
+    for j in range(m):
+        col = blocks[:, j]
+        current = (current + 1) * col
+        np.maximum(longest, current, out=longest)
+    return longest
+
+
+def longest_run_test(bits: np.ndarray) -> float:
+    """2.4 Longest run of ones in a block."""
+    n = bits.size
+    for min_n, m, (lo, hi), pi in _LONGEST_RUN_CONFIGS:
+        if n >= min_n:
+            break
+    else:
+        return float("nan")
+    n_blocks = n // m
+    blocks = bits[: n_blocks * m].reshape(n_blocks, m)
+    longest = np.clip(_longest_run_per_block(blocks), lo, hi)
+    counts = np.bincount(longest - lo, minlength=hi - lo + 1).astype(np.float64)
+    expected = n_blocks * np.asarray(pi)
+    chi_sq = float(((counts - expected) ** 2 / expected).sum())
+    k = len(pi) - 1
+    return float(special.gammaincc(k / 2.0, chi_sq / 2.0))
+
+
+def cumulative_sums_test(bits: np.ndarray) -> float:
+    """2.13 Cumulative sums (both modes; returns the worse p-value)."""
+    n = bits.size
+    if n < 100:
+        return float("nan")
+    x = 2 * bits.astype(np.int64) - 1
+    p_values = []
+    for mode_bits in (x, x[::-1]):
+        s = np.cumsum(mode_bits)
+        z = int(np.abs(s).max())
+        if z == 0:
+            p_values.append(0.0)
+            continue
+        sqrt_n = math.sqrt(n)
+        k_lo = (-n // z + 1) // 4
+        k_hi = (n // z - 1) // 4
+        term1 = sum(
+            stats.norm.cdf((4 * k + 1) * z / sqrt_n)
+            - stats.norm.cdf((4 * k - 1) * z / sqrt_n)
+            for k in range(k_lo, k_hi + 1)
+        )
+        k_lo2 = (-n // z - 3) // 4
+        k_hi2 = (n // z - 1) // 4
+        term2 = sum(
+            stats.norm.cdf((4 * k + 3) * z / sqrt_n)
+            - stats.norm.cdf((4 * k + 1) * z / sqrt_n)
+            for k in range(k_lo2, k_hi2 + 1)
+        )
+        p_values.append(float(np.clip(1.0 - term1 + term2, 0.0, 1.0)))
+    return min(p_values)

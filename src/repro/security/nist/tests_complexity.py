@@ -1,0 +1,76 @@
+"""SP800-22 test 10: linear complexity.
+
+Each M-bit block is fed to Berlekamp-Massey; the deviation of its LFSR
+length from the theoretical mean is bucketed and chi-squared.  The BM
+inner loop represents polynomials and the bit window as Python ints so
+a discrepancy is one AND + popcount.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import special
+
+__all__ = ["linear_complexity_test", "berlekamp_massey"]
+
+_BLOCK = 500
+_PI = (0.010417, 0.03125, 0.125, 0.5, 0.25, 0.0625, 0.020833)
+
+
+def berlekamp_massey(bits: np.ndarray) -> int:
+    """Length of the shortest LFSR generating ``bits`` (over GF(2))."""
+    n = bits.size
+    b = 1  # B(x)
+    c = 1  # C(x); bit j is the coefficient of x^j
+    l = 0
+    m = -1
+    window = 0  # bit j of window = s_{i-j}
+    bit_list = bits.tolist()
+    for i in range(n):
+        window = (window << 1) | bit_list[i]
+        # d = s_i + sum_{j=1..l} c_j s_{i-j}  (mod 2)
+        d = (c & window).bit_count() & 1
+        if d:
+            t = c
+            c ^= b << (i - m)
+            if 2 * l <= i:
+                l = i + 1 - l
+                m = i
+                b = t
+    return l
+
+
+def linear_complexity_test(bits: np.ndarray, block_size: int = _BLOCK) -> float:
+    """2.10 Linear complexity."""
+    n = bits.size
+    n_blocks = n // block_size
+    if n_blocks < 20:
+        return float("nan")
+    m = block_size
+    mu = (
+        m / 2.0
+        + (9.0 + (-1.0) ** (m + 1)) / 36.0
+        - (m / 3.0 + 2.0 / 9.0) / 2.0**m
+    )
+    counts = np.zeros(7, dtype=np.int64)
+    for blk in range(n_blocks):
+        block = bits[blk * m : (blk + 1) * m]
+        l_i = berlekamp_massey(block)
+        t_i = (-1.0) ** m * (l_i - mu) + 2.0 / 9.0
+        if t_i <= -2.5:
+            counts[0] += 1
+        elif t_i <= -1.5:
+            counts[1] += 1
+        elif t_i <= -0.5:
+            counts[2] += 1
+        elif t_i <= 0.5:
+            counts[3] += 1
+        elif t_i <= 1.5:
+            counts[4] += 1
+        elif t_i <= 2.5:
+            counts[5] += 1
+        else:
+            counts[6] += 1
+    expected = n_blocks * np.asarray(_PI)
+    chi_sq = float(((counts - expected) ** 2 / expected).sum())
+    return float(special.gammaincc(3.0, chi_sq / 2.0))

@@ -1,0 +1,61 @@
+"""SP800-22 tests 11-12: serial and approximate entropy.
+
+Both compare the empirical distribution of overlapping m-bit patterns
+(with circular extension) against uniformity; vectorized via
+:func:`repro.security.nist.bits.pattern_counts`.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from scipy import special
+
+from repro.security.nist.bits import pattern_counts
+
+__all__ = ["serial_test", "approximate_entropy_test"]
+
+
+def _psi_sq(bits: np.ndarray, m: int) -> float:
+    """The psi^2_m statistic of SP800-22 Sec. 2.11."""
+    if m == 0:
+        return 0.0
+    n = bits.size
+    counts = pattern_counts(bits, m).astype(np.float64)
+    return float((counts**2).sum() * (2.0**m) / n - n)
+
+
+def serial_test(bits: np.ndarray, m: int = 5) -> float:
+    """2.11 Serial test (returns the worse of the two p-values)."""
+    n = bits.size
+    if n < 100 or m < 2 or m > math.log2(n) - 2:
+        return float("nan")
+    psi_m = _psi_sq(bits, m)
+    psi_m1 = _psi_sq(bits, m - 1)
+    psi_m2 = _psi_sq(bits, m - 2)
+    d1 = psi_m - psi_m1
+    d2 = psi_m - 2.0 * psi_m1 + psi_m2
+    p1 = float(special.gammaincc(2.0 ** (m - 2), d1 / 2.0))
+    p2 = float(special.gammaincc(2.0 ** (m - 3), d2 / 2.0))
+    return min(p1, p2)
+
+
+def _phi(bits: np.ndarray, m: int) -> float:
+    """phi_m of SP800-22 Sec. 2.12 (sum of p*log p over m-patterns)."""
+    if m == 0:
+        return 0.0
+    n = bits.size
+    counts = pattern_counts(bits, m).astype(np.float64)
+    probs = counts[counts > 0] / n
+    return float((probs * np.log(probs)).sum())
+
+
+def approximate_entropy_test(bits: np.ndarray, m: int = 5) -> float:
+    """2.12 Approximate entropy."""
+    n = bits.size
+    if n < 100 or m < 1 or m + 1 > math.log2(n) - 2:
+        return float("nan")
+    ap_en = _phi(bits, m) - _phi(bits, m + 1)
+    chi_sq = 2.0 * n * (math.log(2.0) - ap_en)
+    return float(special.gammaincc(2.0 ** (m - 1), chi_sq / 2.0))

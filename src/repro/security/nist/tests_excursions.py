@@ -1,0 +1,84 @@
+"""SP800-22 tests 14-15: random excursions and the variant.
+
+Both analyse the zero-crossing cycles of the +/-1 random walk.  Each
+returns the *minimum* p-value over its states so that "pass" requires
+every state to pass (the conservative aggregation used for Table VI).
+Streams with too few cycles (J < 500) are not applicable.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from scipy import special
+
+__all__ = ["random_excursions_test", "random_excursions_variant_test"]
+
+_STATES = (-4, -3, -2, -1, 1, 2, 3, 4)
+_VARIANT_STATES = tuple(x for x in range(-9, 10) if x != 0)
+_MIN_CYCLES = 500
+
+
+def _walk_cycles(bits: np.ndarray) -> tuple[np.ndarray, list[np.ndarray]]:
+    """The random walk and its zero-bounded cycles."""
+    s = np.cumsum(2 * bits.astype(np.int64) - 1)
+    # Cycle boundaries: positions where the walk hits zero, plus the
+    # padded start/end zeros of SP800-22's S' sequence.
+    zero_positions = np.nonzero(s == 0)[0]
+    bounds = np.concatenate([[-1], zero_positions, [s.size - 1]])
+    cycles = []
+    for a, b in zip(bounds[:-1], bounds[1:]):
+        if b > a:
+            cycles.append(s[a + 1 : b + 1])
+    return s, cycles
+
+
+def _pi_k(x: int, k: int) -> float:
+    """P(state x visited exactly k times in one cycle), k clipped at 5."""
+    ax = abs(x)
+    base = 1.0 - 1.0 / (2.0 * ax)
+    if k == 0:
+        return base
+    if k < 5:
+        return (1.0 / (4.0 * ax * ax)) * base ** (k - 1)
+    return (1.0 / (2.0 * ax)) * base**4
+
+
+def random_excursions_test(bits: np.ndarray) -> float:
+    """2.14 Random excursions (min p over the 8 states)."""
+    if bits.size < 10000:
+        return float("nan")
+    _, cycles = _walk_cycles(bits)
+    j = len(cycles)
+    if j < _MIN_CYCLES:
+        return float("nan")
+    # visits[state][k] = number of cycles visiting `state` exactly k
+    # times (k clipped to 5).
+    p_values = []
+    for x in _STATES:
+        counts = np.zeros(6, dtype=np.int64)
+        for cycle in cycles:
+            k = int((cycle == x).sum())
+            counts[min(k, 5)] += 1
+        pi = np.array([_pi_k(x, k) for k in range(6)])
+        expected = j * pi
+        chi_sq = float(((counts - expected) ** 2 / expected).sum())
+        p_values.append(float(special.gammaincc(2.5, chi_sq / 2.0)))
+    return min(p_values)
+
+
+def random_excursions_variant_test(bits: np.ndarray) -> float:
+    """2.15 Random excursions variant (min p over the 18 states)."""
+    if bits.size < 10000:
+        return float("nan")
+    s, cycles = _walk_cycles(bits)
+    j = len(cycles)
+    if j < _MIN_CYCLES:
+        return float("nan")
+    p_values = []
+    for x in _VARIANT_STATES:
+        xi = int((s == x).sum())
+        denom = math.sqrt(2.0 * j * (4.0 * abs(x) - 2.0))
+        p_values.append(float(special.erfc(abs(xi - j) / denom)))
+    return min(p_values)

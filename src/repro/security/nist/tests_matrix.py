@@ -1,0 +1,70 @@
+"""SP800-22 test 5: binary matrix rank.
+
+Disjoint 32x32 bit matrices are ranked over GF(2); the distribution of
+{full rank, full-1, lower} is chi-squared against the asymptotic
+probabilities.  Rows are packed into uint64 words so elimination works
+on whole rows at once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import special
+
+__all__ = ["binary_matrix_rank_test", "gf2_rank"]
+
+_M = 32
+_Q = 32
+_BITS_PER_MATRIX = _M * _Q
+
+# P(rank = 32), P(rank = 31), P(rank <= 30) for random 32x32 over GF(2)
+# (SP800-22 Sec. 2.5.4 / 3.5).
+_P_FULL = 0.2888
+_P_FULL_MINUS_1 = 0.5776
+_P_REST = 1.0 - _P_FULL - _P_FULL_MINUS_1
+
+
+def gf2_rank(rows: list[int]) -> int:
+    """Rank over GF(2) of a matrix given as row bitmasks."""
+    rank = 0
+    pivots: list[int] = []
+    for row in rows:
+        for p in pivots:
+            row = min(row, row ^ p)
+        if row:
+            pivots.append(row)
+            pivots.sort(reverse=True)
+            rank += 1
+    return rank
+
+
+def _rank_of_block(bits: np.ndarray) -> int:
+    rows = np.packbits(bits.reshape(_M, _Q), axis=1)
+    row_ints = [
+        int.from_bytes(rows[i].tobytes(), "big") for i in range(_M)
+    ]
+    return gf2_rank(row_ints)
+
+
+def binary_matrix_rank_test(bits: np.ndarray) -> float:
+    """2.5 Binary matrix rank (needs at least 38 matrices)."""
+    n = bits.size
+    n_matrices = n // _BITS_PER_MATRIX
+    if n_matrices < 38:
+        return float("nan")
+    full = full_minus_1 = 0
+    for i in range(n_matrices):
+        block = bits[i * _BITS_PER_MATRIX : (i + 1) * _BITS_PER_MATRIX]
+        rank = _rank_of_block(block)
+        if rank == _M:
+            full += 1
+        elif rank == _M - 1:
+            full_minus_1 += 1
+    rest = n_matrices - full - full_minus_1
+    chi_sq = (
+        (full - _P_FULL * n_matrices) ** 2 / (_P_FULL * n_matrices)
+        + (full_minus_1 - _P_FULL_MINUS_1 * n_matrices) ** 2
+        / (_P_FULL_MINUS_1 * n_matrices)
+        + (rest - _P_REST * n_matrices) ** 2 / (_P_REST * n_matrices)
+    )
+    return float(special.gammaincc(1.0, chi_sq / 2.0))

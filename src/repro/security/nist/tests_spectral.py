@@ -1,0 +1,28 @@
+"""SP800-22 test 6: discrete Fourier transform (spectral).
+
+Periodic features show up as DFT peaks above the 95 % threshold; a
+random sequence should have about 95 % of its magnitudes below it.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from scipy import special
+
+__all__ = ["dft_test"]
+
+
+def dft_test(bits: np.ndarray) -> float:
+    """2.6 Spectral DFT test."""
+    n = bits.size
+    if n < 1000:
+        return float("nan")
+    x = 2.0 * bits.astype(np.float64) - 1.0
+    spectrum = np.abs(np.fft.rfft(x))[: n // 2]
+    threshold = math.sqrt(math.log(1.0 / 0.05) * n)
+    n0 = 0.95 * n / 2.0
+    n1 = float((spectrum < threshold).sum())
+    d = (n1 - n0) / math.sqrt(n * 0.95 * 0.05 / 4.0)
+    return float(special.erfc(abs(d) / math.sqrt(2.0)))

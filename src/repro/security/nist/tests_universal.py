@@ -1,0 +1,89 @@
+"""SP800-22 test 9: Maurer's "universal statistical" test.
+
+Measures the distance between repeated occurrences of L-bit patterns;
+compressible sequences have shorter gaps.  L and the init-segment size
+Q follow the standard table; streams below the L=6 minimum length
+(387,840 bits) are reported as not applicable.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from scipy import special
+
+__all__ = ["universal_test"]
+
+# (min n, L): SP800-22 Sec. 2.9.7 recommendations.
+_L_TABLE = (
+    (1059061760, 16),
+    (496435200, 15),
+    (231669760, 14),
+    (107560960, 13),
+    (49643520, 12),
+    (22753280, 11),
+    (10342400, 10),
+    (4654080, 9),
+    (2068480, 8),
+    (904960, 7),
+    (387840, 6),
+)
+
+# expectedValue, variance per L (SP800-22 Sec. 3.9, L = 6..16).
+_EXPECTED = {
+    6: (5.2177052, 2.954),
+    7: (6.1962507, 3.125),
+    8: (7.1836656, 3.238),
+    9: (8.1764248, 3.311),
+    10: (9.1723243, 3.356),
+    11: (10.170032, 3.384),
+    12: (11.168765, 3.401),
+    13: (12.168070, 3.410),
+    14: (13.167693, 3.416),
+    15: (14.167488, 3.419),
+    16: (15.167379, 3.421),
+}
+
+
+def universal_test(bits: np.ndarray) -> float:
+    """2.9 Universal statistical test (Maurer)."""
+    n = bits.size
+    length = None
+    for min_n, candidate in _L_TABLE:
+        if n >= min_n:
+            length = candidate
+            break
+    if length is None:
+        return float("nan")
+    q = 10 * (1 << length)
+    n_blocks = n // length
+    k = n_blocks - q
+    if k <= 0:
+        return float("nan")
+    # Block values, vectorized.
+    weights = (1 << np.arange(length - 1, -1, -1)).astype(np.int64)
+    values = (
+        bits[: n_blocks * length].reshape(n_blocks, length).astype(np.int64)
+        @ weights
+    )
+    table = np.zeros(1 << length, dtype=np.int64)
+    init = values[:q]
+    # Last occurrence of each pattern in the init segment (1-based).
+    table[init] = np.arange(1, q + 1)
+    total = 0.0
+    # The test segment must be scanned in order since each gap depends
+    # on the running "last seen" table; chunk the log2 computation to
+    # keep the Python-level loop as cheap as possible.
+    gaps = np.empty(k, dtype=np.int64)
+    tbl = table
+    vals = values[q:]
+    for i, v in enumerate(vals.tolist(), start=q + 1):
+        gaps[i - q - 1] = i - tbl[v]
+        tbl[v] = i
+    total = float(np.log2(gaps.astype(np.float64)).sum())
+    f_n = total / k
+    expected, variance = _EXPECTED[length]
+    c = 0.7 - 0.8 / length + (4.0 + 32.0 / length) * k ** (-3.0 / length) / 15.0
+    sigma = c * math.sqrt(variance / k)
+    return float(special.erfc(abs(f_n - expected) / (math.sqrt(2.0) * sigma)))

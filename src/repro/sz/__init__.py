@@ -1,0 +1,33 @@
+"""A from-scratch, NumPy-vectorized reimplementation of the SZ-1.4 pipeline.
+
+SZ compresses a floating-point field in four steps (paper Fig. 1):
+
+1. **data prediction** — Lorenzo / mean-integrated Lorenzo / per-block
+   linear regression, selected by sampling,
+2. **linear-scale quantization** — the prediction residual is mapped to
+   an integer code; residuals that do not fit the quantization range
+   are *unpredictable* and take a sentinel code,
+3. **variable-length encoding** — Huffman coding of the code array
+   (tree + codewords = the "quantization array" the paper's Encr-Quant
+   encrypts; the serialized tree alone is what Encr-Huffman encrypts),
+4. **lossless compression** — a zlib pass over everything.
+
+Vectorization strategy (see DESIGN.md §5): values are first snapped to
+the error-bound grid ``q = rint(x / (2·eb))``; prediction then operates
+on exact integers, the Lorenzo residual becomes a composed first
+difference (``np.diff`` per axis) and its inverse a composed
+``np.cumsum`` — both fully vectorized, with reconstruction error ≤ eb
+guaranteed at every point.
+
+Public surface
+--------------
+:class:`~repro.sz.compressor.SZCompressor` is the façade; it produces
+an :class:`~repro.sz.compressor.SZFrame` of named byte sections so the
+encryption schemes in :mod:`repro.core` can interpose AES at exactly
+the stage the paper's Figure 1 dashed lines indicate.
+"""
+
+from repro.sz.compressor import CompressionStats, SZCompressor, SZFrame
+from repro.sz.quantizer import ErrorBound
+
+__all__ = ["SZCompressor", "SZFrame", "CompressionStats", "ErrorBound"]

@@ -1,0 +1,84 @@
+"""Vectorized bit packing for variable-length (Huffman) codes.
+
+Packing writes all codewords into one flat bit array in ``max_len``
+vectorized passes (one per bit position) instead of a per-symbol Python
+loop — the classic mask-and-scatter idiom.  Unpacking back into
+codewords is done by the table-driven decoder in :mod:`repro.sz.huffman`;
+this module only provides the raw bit-level containers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["PackedBits", "pack_codes", "unpack_bits"]
+
+
+@dataclass(frozen=True)
+class PackedBits:
+    """A bit string stored as bytes plus its exact bit length."""
+
+    data: bytes
+    n_bits: int
+
+    def __post_init__(self) -> None:
+        if self.n_bits < 0:
+            raise ValueError("n_bits must be non-negative")
+        if len(self.data) != (self.n_bits + 7) // 8:
+            raise ValueError(
+                f"{len(self.data)} bytes cannot hold exactly {self.n_bits} bits"
+            )
+
+
+def pack_codes(codes: np.ndarray, lengths: np.ndarray) -> PackedBits:
+    """Concatenate variable-length codewords MSB-first into a bit string.
+
+    Parameters
+    ----------
+    codes:
+        Codeword values; codeword ``i`` occupies the low ``lengths[i]``
+        bits of ``codes[i]``.
+    lengths:
+        Bit length of each codeword (1..64).
+
+    Notes
+    -----
+    Runs in ``O(max_len)`` vectorized passes: pass ``b`` scatters bit
+    ``b`` of every codeword long enough to have one.  Peak memory is
+    one byte per output *bit* (the unpacked bit plane), which is the
+    price of full vectorization and is fine at the scales this library
+    targets.
+    """
+    codes = np.asarray(codes, dtype=np.uint64)
+    lengths = np.asarray(lengths, dtype=np.int64)
+    if codes.shape != lengths.shape:
+        raise ValueError("codes and lengths must have the same shape")
+    if codes.size == 0:
+        return PackedBits(data=b"", n_bits=0)
+    if lengths.min() < 1 or lengths.max() > 64:
+        raise ValueError("codeword lengths must be in 1..64")
+
+    ends = np.cumsum(lengths)
+    total_bits = int(ends[-1])
+    starts = ends - lengths
+
+    bits = np.zeros(total_bits, dtype=np.uint8)
+    max_len = int(lengths.max())
+    for b in range(max_len):
+        mask = lengths > b
+        # Bit b (from the MSB side) of each surviving codeword.
+        shift = (lengths[mask] - 1 - b).astype(np.uint64)
+        bits[starts[mask] + b] = ((codes[mask] >> shift) & np.uint64(1)).astype(
+            np.uint8
+        )
+    return PackedBits(data=np.packbits(bits).tobytes(), n_bits=total_bits)
+
+
+def unpack_bits(packed: PackedBits) -> np.ndarray:
+    """Expand a :class:`PackedBits` back into a 0/1 ``uint8`` array."""
+    if packed.n_bits == 0:
+        return np.empty(0, dtype=np.uint8)
+    bits = np.unpackbits(np.frombuffer(packed.data, dtype=np.uint8))
+    return bits[: packed.n_bits]

@@ -1,0 +1,484 @@
+"""The SZ-1.4 compressor façade.
+
+:class:`SZCompressor` runs the four-stage pipeline and returns an
+:class:`SZFrame`: a set of *named byte sections* plus statistics.  The
+sections are exactly the units the paper's three schemes transform:
+
+========== =====================================================
+``meta``   decode parameters (dims, dtype, bound, predictor, ...)
+``tree``   serialized Huffman tree        — Encr-Huffman's target
+``codes``  Huffman codeword bitstream     ┐ with ``tree``:
+``unpred`` unpredictable residual channel │ the "quantization
+``coeffs`` regression coefficients        ┘ array" of Encr-Quant
+``exact``  verbatim floats for sub-ulp-bound points
+========== =====================================================
+
+The frame is *pre-lossless*: schemes interpose AES on their sections
+and then hand everything to :mod:`repro.sz.lossless`/the container.
+Plain SZ (no encryption) is ``scheme="none"`` in
+:class:`repro.core.pipeline.SecureCompressor`.
+
+Every stage records its wall time into ``CompressionStats.stage_seconds``
+— the same numbers drive the paper's Fig. 7 time breakdown and the
+Tables III–V overhead studies.
+"""
+
+from __future__ import annotations
+
+import struct
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.sz import huffman, ieee754, intcodec, predictors, quantizer
+from repro.sz.bitstream import PackedBits
+from repro.sz.quantizer import ErrorBound
+
+__all__ = ["SZCompressor", "SZFrame", "CompressionStats", "SECTION_ORDER"]
+
+#: Canonical section order inside a serialized stream.
+SECTION_ORDER = ("meta", "tree", "codes", "unpred", "coeffs", "exact", "aux")
+
+_DTYPE_CODES = {np.dtype(np.float32): 0, np.dtype(np.float64): 1}
+_DTYPE_FROM_CODE = {v: k for k, v in _DTYPE_CODES.items()}
+
+# meta layout: magic, version, dtype, predictor, bound_mode, ndim,
+# block_size, radius, eb, modal, n_codes_bits, n_unpredictable, then
+# ndim dims.  bound_mode 0 = direct (abs/rel); 1 = pw_rel (the grid
+# stage ran on log2|x| and the aux section carries signs/zeros).
+_META = struct.Struct("<4sBBBBBBIdqQQ")
+_META_MAGIC = b"SZfr"
+_META_VERSION = 2
+
+
+@dataclass
+class CompressionStats:
+    """Per-compression statistics (drives Figs. 2–4 and EXPERIMENTS.md)."""
+
+    n_elements: int
+    eb_abs: float
+    predictor: str
+    radius: int
+    unpredictable_count: int
+    section_bytes: dict[str, int]
+    stage_seconds: dict[str, float] = field(default_factory=dict)
+    #: Points stored verbatim because no grid value meets the bound in
+    #: the output dtype (nonzero only when eb is below the data's ulp).
+    exact_count: int = 0
+
+    @property
+    def predictable_count(self) -> int:
+        return self.n_elements - self.unpredictable_count
+
+    @property
+    def predictable_fraction(self) -> float:
+        """Fraction of points the predictor captured (Fig. 2/3)."""
+        if self.n_elements == 0:
+            return 0.0
+        return self.predictable_count / self.n_elements
+
+    @property
+    def quant_array_bytes(self) -> int:
+        """Huffman tree + codewords = the paper's "quantization array"."""
+        return self.section_bytes["tree"] + self.section_bytes["codes"]
+
+    @property
+    def tree_fraction_of_quant(self) -> float:
+        """Serialized-tree share of the quantization array (Fig. 4)."""
+        denom = self.quant_array_bytes
+        return self.section_bytes["tree"] / denom if denom else 0.0
+
+
+@dataclass
+class SZFrame:
+    """Named byte sections plus stats; input to the scheme layer."""
+
+    sections: dict[str, bytes]
+    stats: CompressionStats
+
+    def __post_init__(self) -> None:
+        missing = set(SECTION_ORDER) - set(self.sections)
+        if missing:
+            raise ValueError(f"frame is missing sections: {sorted(missing)}")
+
+    @property
+    def payload_bytes(self) -> int:
+        """Total pre-lossless size of all sections."""
+        return sum(len(v) for v in self.sections.values())
+
+
+class SZCompressor:
+    """Error-bounded lossy compressor (SZ-1.4 pipeline).
+
+    Parameters
+    ----------
+    error_bound:
+        Either an :class:`~repro.sz.quantizer.ErrorBound` or a float
+        (interpreted as an absolute bound, the paper's mode).
+    predictor:
+        ``"auto"`` (sampling-based selection, SZ's behaviour) or one of
+        ``"lorenzo"``, ``"mean"``, ``"regression"``.
+    block_size:
+        Regression block edge length (SZ-2 uses 6; we default to 8 for
+        power-of-two reshapes).
+    coverage:
+        Target fraction of residuals the adaptive quantization radius
+        must cover; the remainder becomes unpredictable data.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> comp = SZCompressor(error_bound=1e-3)
+    >>> field = np.linspace(0, 1, 4096, dtype=np.float32).reshape(16, 16, 16)
+    >>> frame = comp.compress(field)
+    >>> out = comp.decompress(frame)
+    >>> bool(np.max(np.abs(out.astype(np.float64) - field)) <= 1e-3 * 1.0001)
+    True
+    """
+
+    def __init__(
+        self,
+        error_bound: ErrorBound | float = 1e-3,
+        *,
+        predictor: str = "auto",
+        block_size: int = 8,
+        coverage: float = 0.995,
+    ) -> None:
+        if isinstance(error_bound, (int, float)):
+            error_bound = ErrorBound(value=float(error_bound), mode="abs")
+        self.error_bound = error_bound
+        if predictor != "auto" and predictor not in predictors.PREDICTORS:
+            raise ValueError(f"unknown predictor {predictor!r}")
+        self.predictor = predictor
+        if block_size < 2:
+            raise ValueError("block_size must be at least 2")
+        self.block_size = block_size
+        self.coverage = coverage
+
+    # ------------------------------------------------------------------
+    # Compression
+    # ------------------------------------------------------------------
+
+    def compress(self, data: np.ndarray) -> SZFrame:
+        """Run predict → quantize → Huffman and return the frame."""
+        data = np.ascontiguousarray(data)
+        if data.dtype not in _DTYPE_CODES:
+            raise TypeError(f"unsupported dtype {data.dtype}; use float32/float64")
+        if data.ndim < 1 or data.ndim > 4:
+            raise ValueError(f"expected 1-4 dimensional data, got ndim={data.ndim}")
+        if data.size == 0:
+            raise ValueError("cannot compress an empty array")
+        stage_seconds: dict[str, float] = {}
+        out_dtype = data.dtype
+
+        t0 = time.perf_counter()
+        eb = self.error_bound.resolve(data)
+        if self.error_bound.mode == "pw_rel":
+            work, aux_bytes = _pwrel_forward(data)
+        else:
+            work, aux_bytes = data, b""
+        q, exact_idx = quantizer.grid_quantize_verified(work, eb)
+        stage_seconds["quantize"] = time.perf_counter() - t0
+        data = work
+
+        t0 = time.perf_counter()
+        predictor_name, residuals, model, modal = self._predict(q)
+        radius = quantizer.choose_radius(residuals, coverage=self.coverage)
+        codes, unpred_mask = quantizer.codes_from_residuals(residuals, radius)
+        stage_seconds["predict"] = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        flat_codes = np.ravel(codes)
+        symbols, inverse, counts = np.unique(
+            flat_codes, return_inverse=True, return_counts=True
+        )
+        code = huffman.build_code(symbols, counts)
+        stage_seconds["huffman_build"] = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        packed = huffman.encode(flat_codes, code)
+        tree_bytes = huffman.serialize_tree(code)
+        stage_seconds["huffman_encode"] = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        # Channel format per predictor: the Lorenzo chain is inverted
+        # by cumulative sums, which need a residual at *every* point,
+        # so Lorenzo stores the out-of-range residual integers.  The
+        # mean/regression predictors decode pointwise, so unpredictable
+        # points are stored as verbatim floats (SZ-1.4's representation)
+        # and scattered straight into the output.
+        if predictor_name == "lorenzo":
+            unpred_bytes = intcodec.byteplane_encode(residuals[unpred_mask])
+        else:
+            unpred_bytes = ieee754.ieee754_encode(data[unpred_mask])
+        coeff_bytes = (
+            ieee754.ieee754_encode(model.coefficients)
+            if model is not None
+            else b""
+        )
+        exact_bytes = _pack_exact(exact_idx, np.ravel(data)[exact_idx])
+        stage_seconds["side_channels"] = time.perf_counter() - t0
+
+        meta = self._pack_meta(
+            data, out_dtype, eb, predictor_name, radius, modal, packed,
+            int(unpred_mask.sum()),
+        )
+        sections = {
+            "meta": meta,
+            "tree": tree_bytes,
+            "codes": packed.data,
+            "unpred": unpred_bytes,
+            "coeffs": coeff_bytes,
+            "exact": exact_bytes,
+            "aux": aux_bytes,
+        }
+        stats = CompressionStats(
+            n_elements=int(data.size),
+            eb_abs=eb,
+            predictor=predictor_name,
+            radius=radius,
+            unpredictable_count=int(unpred_mask.sum()),
+            section_bytes={k: len(v) for k, v in sections.items()},
+            stage_seconds=stage_seconds,
+            exact_count=int(exact_idx.size),
+        )
+        return SZFrame(sections=sections, stats=stats)
+
+    def _predict(
+        self, q: np.ndarray
+    ) -> tuple[str, np.ndarray, predictors.RegressionModel | None, int]:
+        """Select a predictor (if auto) and compute its residuals."""
+        name = self.predictor
+        if name == "auto":
+            probe_radius = quantizer.choose_radius(
+                predictors.lorenzo_residuals(q), coverage=self.coverage
+            )
+            name = predictors.select_predictor(q, probe_radius, self.block_size)
+        model: predictors.RegressionModel | None = None
+        modal = 0
+        if name == "lorenzo":
+            residuals = predictors.lorenzo_residuals(q)
+        elif name == "mean":
+            modal = predictors.modal_value(q)
+            residuals = predictors.mean_residuals(q, modal)
+        elif name == "regression":
+            model = predictors.regression_fit(q, self.block_size)
+            residuals = q - predictors.regression_predict(model)
+        else:  # pragma: no cover - constructor validates
+            raise ValueError(f"unknown predictor {name!r}")
+        return name, residuals, model, modal
+
+    def _pack_meta(
+        self,
+        data: np.ndarray,
+        out_dtype: np.dtype,
+        eb: float,
+        predictor_name: str,
+        radius: int,
+        modal: int,
+        packed: PackedBits,
+        n_unpred: int,
+    ) -> bytes:
+        head = _META.pack(
+            _META_MAGIC,
+            _META_VERSION,
+            _DTYPE_CODES[out_dtype],
+            predictors.PREDICTORS.index(predictor_name),
+            1 if self.error_bound.mode == "pw_rel" else 0,
+            data.ndim,
+            self.block_size,
+            radius,
+            eb,
+            modal,
+            packed.n_bits,
+            n_unpred,
+        )
+        dims = struct.pack(f"<{data.ndim}Q", *data.shape)
+        return head + dims
+
+    # ------------------------------------------------------------------
+    # Decompression
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def parse_meta(meta: bytes) -> dict:
+        """Decode the ``meta`` section into a plain dict."""
+        if len(meta) < _META.size:
+            raise ValueError("meta section shorter than its fixed header")
+        (
+            magic,
+            version,
+            dtype_code,
+            predictor_id,
+            bound_mode,
+            ndim,
+            block_size,
+            radius,
+            eb,
+            modal,
+            n_bits,
+            n_unpred,
+        ) = _META.unpack_from(meta)
+        if magic != _META_MAGIC:
+            raise ValueError("bad frame magic; not an SZ frame")
+        if version != _META_VERSION:
+            raise ValueError(f"unsupported frame version {version}")
+        if dtype_code not in _DTYPE_FROM_CODE:
+            raise ValueError(f"unknown dtype code {dtype_code}")
+        if predictor_id >= len(predictors.PREDICTORS):
+            raise ValueError(f"unknown predictor id {predictor_id}")
+        expect = _META.size + 8 * ndim
+        if len(meta) != expect:
+            raise ValueError(f"meta section is {len(meta)} bytes, expected {expect}")
+        if bound_mode not in (0, 1):
+            raise ValueError(f"unknown bound mode {bound_mode}")
+        shape = struct.unpack_from(f"<{ndim}Q", meta, _META.size)
+        return {
+            "dtype": _DTYPE_FROM_CODE[dtype_code],
+            "pw_rel": bound_mode == 1,
+            "predictor": predictors.PREDICTORS[predictor_id],
+            "block_size": block_size,
+            "radius": int(radius),
+            "eb": eb,
+            "modal": modal,
+            "n_bits": n_bits,
+            "n_unpredictable": n_unpred,
+            "shape": tuple(int(s) for s in shape),
+        }
+
+    def decompress(self, frame: SZFrame,
+                   stage_seconds: dict[str, float] | None = None) -> np.ndarray:
+        """Invert :meth:`compress`; returns the error-bounded field.
+
+        ``stage_seconds``, when given, receives per-stage wall times
+        (``huffman_decode`` and ``reconstruct``) for the bandwidth and
+        breakdown experiments.
+        """
+        times = stage_seconds if stage_seconds is not None else {}
+        info = self.parse_meta(frame.sections["meta"])
+        shape = info["shape"]
+        n_elements = int(np.prod(shape))
+
+        t0 = time.perf_counter()
+        code = huffman.deserialize_tree(frame.sections["tree"])
+        packed = PackedBits(data=frame.sections["codes"], n_bits=info["n_bits"])
+        flat_codes = huffman.decode(packed, code, n_elements)
+        times["huffman_decode"] = times.get("huffman_decode", 0.0) + (
+            time.perf_counter() - t0
+        )
+        t0 = time.perf_counter()
+
+        work_dtype = np.dtype(np.float64) if info["pw_rel"] else info["dtype"]
+        name = info["predictor"]
+        n_unpred = info["n_unpredictable"]
+        if name == "lorenzo":
+            unpred_res = intcodec.byteplane_decode(frame.sections["unpred"])
+            verbatim = None
+        else:
+            unpred_res = np.zeros(n_unpred, dtype=np.int64)  # placeholder
+            verbatim = ieee754.ieee754_decode(frame.sections["unpred"])
+            if verbatim.dtype != work_dtype:
+                verbatim = verbatim.astype(work_dtype)
+        if (verbatim.size if verbatim is not None else unpred_res.size) != n_unpred:
+            raise ValueError("unpredictable channel does not match meta")
+        residuals = quantizer.residuals_from_codes(
+            flat_codes, info["radius"], unpred_res
+        ).reshape(shape)
+
+        if name == "lorenzo":
+            q = predictors.lorenzo_reconstruct(residuals)
+        elif name == "mean":
+            q = predictors.mean_reconstruct(residuals, info["modal"])
+        else:  # regression
+            coefs = ieee754.ieee754_decode(frame.sections["coeffs"])
+            model = predictors.RegressionModel(
+                shape=shape,
+                block_size=info["block_size"],
+                coefficients=coefs.reshape(-1, len(shape) + 1),
+            )
+            q = residuals + predictors.regression_predict(model)
+        out = quantizer.grid_reconstruct(q, info["eb"], work_dtype)
+        if verbatim is not None and n_unpred:
+            out.reshape(-1)[np.ravel(flat_codes == 0)] = verbatim
+        times["reconstruct"] = times.get("reconstruct", 0.0) + (
+            time.perf_counter() - t0
+        )
+        exact_idx, exact_vals = _unpack_exact(frame.sections["exact"], work_dtype)
+        if exact_idx.size:
+            if int(exact_idx.max()) >= out.size:
+                raise ValueError("exact channel index out of range")
+            out.reshape(-1)[exact_idx] = exact_vals
+        if info["pw_rel"]:
+            out = _pwrel_inverse(out, frame.sections["aux"], info["dtype"])
+        return out
+
+
+def _pwrel_forward(data: np.ndarray) -> tuple[np.ndarray, bytes]:
+    """Map values to log2-magnitude space for point-wise-relative mode.
+
+    Returns the float64 working array (``log2 |x|``; zeros receive a
+    placeholder below the smallest real value so they stay cheap to
+    code) and the packed ``aux`` section recording signs and exact-zero
+    positions.
+    """
+    x = np.ravel(np.asarray(data, dtype=np.float64))
+    zeros = x == 0.0
+    signs = np.signbit(np.asarray(data)).reshape(-1)
+    y = np.empty_like(x)
+    nonzero = ~zeros
+    y[nonzero] = np.log2(np.abs(x[nonzero]))
+    filler = (y[nonzero].min() - 4.0) if nonzero.any() else 0.0
+    y[zeros] = filler
+    aux = (
+        struct.pack("<Q", x.size)
+        + np.packbits(signs.astype(np.uint8)).tobytes()
+        + np.packbits(zeros.astype(np.uint8)).tobytes()
+    )
+    return y.reshape(np.asarray(data).shape), aux
+
+
+def _pwrel_inverse(y: np.ndarray, aux: bytes, dtype: np.dtype) -> np.ndarray:
+    """Invert :func:`_pwrel_forward`: ``x = ±2^y``, zeros restored."""
+    if len(aux) < 8:
+        raise ValueError("pw_rel aux section shorter than its header")
+    (n,) = struct.unpack_from("<Q", aux)
+    if y.size != n:
+        raise ValueError("pw_rel aux section does not match the data size")
+    plane = (n + 7) // 8
+    if len(aux) != 8 + 2 * plane:
+        raise ValueError("truncated pw_rel aux section")
+    signs = np.unpackbits(
+        np.frombuffer(aux, dtype=np.uint8, offset=8, count=plane)
+    )[:n].astype(bool)
+    zeros = np.unpackbits(
+        np.frombuffer(aux, dtype=np.uint8, offset=8 + plane, count=plane)
+    )[:n].astype(bool)
+    mag = np.exp2(np.ravel(y).astype(np.float64))
+    out = np.where(signs, -mag, mag)
+    out[zeros] = 0.0
+    return out.reshape(y.shape).astype(dtype)
+
+
+def _pack_exact(indices: np.ndarray, values: np.ndarray) -> bytes:
+    """Serialize the verbatim-value channel: delta-coded sorted flat
+    indices (byte planes) followed by the raw values."""
+    indices = np.asarray(indices, dtype=np.int64)
+    deltas = np.diff(indices, prepend=np.int64(0))
+    pos = intcodec.byteplane_encode(deltas)
+    return struct.pack("<Q", len(pos)) + pos + np.ascontiguousarray(values).tobytes()
+
+
+def _unpack_exact(data: bytes, dtype: np.dtype) -> tuple[np.ndarray, np.ndarray]:
+    """Inverse of :func:`_pack_exact`."""
+    if len(data) < 8:
+        raise ValueError("exact channel shorter than its header")
+    (pos_len,) = struct.unpack_from("<Q", data)
+    if len(data) < 8 + pos_len:
+        raise ValueError("truncated exact channel")
+    deltas = intcodec.byteplane_decode(data[8 : 8 + pos_len])
+    indices = np.cumsum(deltas).astype(np.int64)
+    values = np.frombuffer(data, dtype=dtype, offset=8 + pos_len)
+    if values.size != indices.size:
+        raise ValueError("exact channel indices and values do not align")
+    return indices, values

@@ -1,0 +1,426 @@
+"""Canonical Huffman coding of the quantization-code array.
+
+This stage produces the two byte sections at the heart of the paper:
+
+* the **serialized tree** — what *Encr-Huffman* encrypts.  Recovering
+  Huffman-coded data without the code table is NP-hard (paper Sec. IV-C,
+  refs [56], [57]), so encrypting only this small section already keys
+  the whole quantization array.
+* the **codeword bitstream** — together with the tree it forms the
+  "quantization array" that *Encr-Quant* encrypts.
+
+Implementation notes
+--------------------
+* Codes are *canonical*: the tree is fully described by each symbol's
+  code length, so the serialized tree is ``(symbols, lengths)`` — far
+  smaller than a pointer-based tree dump, and trivially validated.
+* Code lengths are limited to :data:`MAX_CODE_LEN` with a Kraft-sum
+  fix-up (the zlib approach).  This keeps the decoder's primary lookup
+  table small and bounds the encoder's bit-scatter passes; the rate
+  loss versus unrestricted Huffman is negligible for the skewed
+  residual histograms SZ produces.
+* Decoding uses a flat ``2^TABLE_BITS``-entry table: one lookup per
+  symbol for all codes up to :data:`TABLE_BITS` bits (the common case);
+  longer codes resolve through a canonical first-code search.
+"""
+
+from __future__ import annotations
+
+import heapq
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sz import intcodec
+from repro.sz.bitstream import PackedBits, pack_codes
+
+__all__ = [
+    "HuffmanCode",
+    "build_code",
+    "encode",
+    "decode",
+    "serialize_tree",
+    "deserialize_tree",
+    "MAX_CODE_LEN",
+    "TABLE_BITS",
+]
+
+#: Hard cap on codeword length (keeps tables and bit passes bounded).
+MAX_CODE_LEN = 24
+#: Primary decode-table width in bits.
+TABLE_BITS = 12
+
+_TREE_HEADER = struct.Struct("<IB")  # (n_symbols, max_len)
+
+
+@dataclass(frozen=True)
+class HuffmanCode:
+    """A canonical Huffman code over an integer alphabet.
+
+    Attributes
+    ----------
+    symbols:
+        Sorted, distinct symbol values (int64).
+    lengths:
+        Code length per symbol (uint8), Kraft-complete-or-under.
+    codewords:
+        Canonical codeword values (uint64), assigned in
+        ``(length, symbol)`` order.
+    """
+
+    symbols: np.ndarray
+    lengths: np.ndarray
+    codewords: np.ndarray
+
+    def __post_init__(self) -> None:
+        if not (len(self.symbols) == len(self.lengths) == len(self.codewords)):
+            raise ValueError("symbols/lengths/codewords must align")
+        if len(self.symbols) and int(self.lengths.max()) > MAX_CODE_LEN:
+            raise ValueError("code length exceeds MAX_CODE_LEN")
+
+    @property
+    def n_symbols(self) -> int:
+        return len(self.symbols)
+
+    def mean_length(self, frequencies: np.ndarray) -> float:
+        """Average codeword length in bits under ``frequencies``."""
+        total = frequencies.sum()
+        if total == 0:
+            return 0.0
+        return float((frequencies * self.lengths).sum() / total)
+
+
+def _huffman_lengths(freqs: np.ndarray) -> np.ndarray:
+    """Optimal prefix-code lengths via the classic heap construction."""
+    n = len(freqs)
+    if n == 1:
+        return np.array([1], dtype=np.int64)
+    # Heap items: (freq, tiebreak, node_id).  Internal nodes get ids >= n.
+    heap = [(int(f), i, i) for i, f in enumerate(freqs)]
+    heapq.heapify(heap)
+    parent = np.full(2 * n - 1, -1, dtype=np.int64)
+    next_id = n
+    while len(heap) > 1:
+        f1, _, a = heapq.heappop(heap)
+        f2, _, b = heapq.heappop(heap)
+        parent[a] = next_id
+        parent[b] = next_id
+        heapq.heappush(heap, (f1 + f2, next_id, next_id))
+        next_id += 1
+    depths = np.zeros(2 * n - 1, dtype=np.int64)
+    # Nodes were created bottom-up, so walking ids top-down lets every
+    # child read its parent's already-final depth.
+    for node in range(next_id - 2, -1, -1):
+        depths[node] = depths[parent[node]] + 1
+    return depths[:n]
+
+
+def _limit_lengths(lengths: np.ndarray, freqs: np.ndarray, max_len: int) -> np.ndarray:
+    """Clamp code lengths to ``max_len`` and restore the Kraft inequality.
+
+    Clamping over-long codes pushes the Kraft sum above 1; we repair it
+    by lengthening the cheapest (lowest-frequency) symbols whose codes
+    still have room to grow — each such step frees ``2^(max_len - l - 1)``
+    units of Kraft budget at minimal rate cost.
+    """
+    lengths = np.minimum(lengths, max_len)
+    unit = 1 << max_len  # work in integer units of 2^-max_len
+    kraft = int((1 << (max_len - lengths)).sum())
+    if kraft <= unit:
+        return lengths
+    # Lengthen symbols in ascending frequency, skipping already-max codes.
+    order = np.argsort(freqs, kind="stable")
+    lengths = lengths.copy()
+    while kraft > unit:
+        progressed = False
+        for idx in order:
+            if lengths[idx] < max_len:
+                kraft -= 1 << (max_len - lengths[idx] - 1)
+                lengths[idx] += 1
+                progressed = True
+                if kraft <= unit:
+                    break
+        if not progressed:  # pragma: no cover - cannot happen for n <= 2^max_len
+            raise RuntimeError("unable to satisfy Kraft inequality")
+    return lengths
+
+
+def _canonical_codewords(lengths: np.ndarray) -> np.ndarray:
+    """Assign canonical codewords given lengths (symbols already sorted)."""
+    order = np.lexsort((np.arange(len(lengths)), lengths))
+    codes = np.zeros(len(lengths), dtype=np.uint64)
+    code = 0
+    prev_len = 0
+    for idx in order:
+        ln = int(lengths[idx])
+        code <<= ln - prev_len
+        codes[idx] = code
+        code += 1
+        prev_len = ln
+    return codes
+
+
+def build_code(symbols: np.ndarray, frequencies: np.ndarray) -> HuffmanCode:
+    """Build a length-limited canonical Huffman code.
+
+    Parameters
+    ----------
+    symbols:
+        Distinct symbol values (will be sorted internally).
+    frequencies:
+        Positive occurrence counts aligned with ``symbols``.
+    """
+    symbols = np.asarray(symbols, dtype=np.int64)
+    frequencies = np.asarray(frequencies, dtype=np.int64)
+    if symbols.size == 0:
+        return HuffmanCode(
+            symbols=symbols,
+            lengths=np.empty(0, dtype=np.uint8),
+            codewords=np.empty(0, dtype=np.uint64),
+        )
+    if symbols.size != frequencies.size:
+        raise ValueError("symbols and frequencies must align")
+    if (frequencies <= 0).any():
+        raise ValueError("all frequencies must be positive")
+    if symbols.size > (1 << MAX_CODE_LEN):
+        raise ValueError("alphabet too large for MAX_CODE_LEN")
+    order = np.argsort(symbols)
+    symbols = symbols[order]
+    frequencies = frequencies[order]
+    if np.unique(symbols).size != symbols.size:
+        raise ValueError("symbols must be distinct")
+    lengths = _huffman_lengths(frequencies)
+    lengths = _limit_lengths(lengths, frequencies, MAX_CODE_LEN)
+    codewords = _canonical_codewords(lengths)
+    return HuffmanCode(
+        symbols=symbols,
+        lengths=lengths.astype(np.uint8),
+        codewords=codewords,
+    )
+
+
+def encode(values: np.ndarray, code: HuffmanCode) -> PackedBits:
+    """Huffman-encode an int array (vectorized lookup + bit pack)."""
+    values = np.ravel(np.asarray(values, dtype=np.int64))
+    if values.size == 0:
+        return PackedBits(data=b"", n_bits=0)
+    idx = np.searchsorted(code.symbols, values)
+    idx = np.clip(idx, 0, code.n_symbols - 1)
+    if not np.array_equal(code.symbols[idx], values):
+        raise ValueError("value outside the code's alphabet")
+    return pack_codes(code.codewords[idx], code.lengths[idx])
+
+
+def serialize_tree(code: HuffmanCode) -> bytes:
+    """Serialize the canonical code table ("the Huffman tree").
+
+    Layout: header ``(n_symbols, max_len)``, varint-encoded
+    delta-sorted symbol values, then one length byte per symbol.  This
+    byte string is the section Encr-Huffman encrypts.
+    """
+    n = code.n_symbols
+    max_len = int(code.lengths.max()) if n else 0
+    deltas = np.diff(code.symbols, prepend=np.int64(0)) if n else np.empty(0, np.int64)
+    return (
+        _TREE_HEADER.pack(n, max_len)
+        + intcodec.varint_encode(deltas)
+        + code.lengths.tobytes()
+    )
+
+
+def deserialize_tree(data: bytes) -> HuffmanCode:
+    """Rebuild a :class:`HuffmanCode` from :func:`serialize_tree` output."""
+    if len(data) < _TREE_HEADER.size:
+        raise ValueError("huffman tree stream shorter than its header")
+    n, max_len = _TREE_HEADER.unpack_from(data)
+    if max_len > MAX_CODE_LEN:
+        raise ValueError(f"serialized tree max length {max_len} exceeds cap")
+    if n == 0:
+        return build_code(np.empty(0, np.int64), np.empty(0, np.int64))
+    body = data[_TREE_HEADER.size :]
+    if len(body) < n:
+        raise ValueError("truncated huffman tree stream")
+    lengths = np.frombuffer(body[-n:], dtype=np.uint8)
+    # varint_decode validates the stream itself.
+    deltas = intcodec.varint_decode(body[: len(body) - n], n)
+    symbols = np.cumsum(deltas).astype(np.int64)
+    if np.unique(symbols).size != n:
+        raise ValueError("serialized tree contains duplicate symbols")
+    if lengths.min() < 1 or lengths.max() != max_len:
+        raise ValueError("serialized tree lengths are inconsistent")
+    codewords = _canonical_codewords(lengths.astype(np.int64))
+    return HuffmanCode(symbols=symbols.copy(), lengths=lengths.copy(), codewords=codewords)
+
+
+class _Decoder:
+    """Table-driven canonical decoder (see module docstring)."""
+
+    def __init__(self, code: HuffmanCode) -> None:
+        if code.n_symbols == 0:
+            raise ValueError("cannot decode with an empty code")
+        self.code = code
+        lengths = code.lengths.astype(np.int64)
+        self.max_len = int(lengths.max())
+        t_bits = min(TABLE_BITS, self.max_len)
+        self.t_bits = t_bits
+        size = 1 << t_bits
+        self.tab_sym = np.zeros(size, dtype=np.int64)
+        self.tab_len = np.zeros(size, dtype=np.uint8)
+        short = lengths <= t_bits
+        for sym, ln, cw in zip(
+            code.symbols[short], lengths[short], code.codewords[short]
+        ):
+            base = int(cw) << (t_bits - int(ln))
+            span = 1 << (t_bits - int(ln))
+            self.tab_sym[base : base + span] = sym
+            self.tab_len[base : base + span] = ln
+        # Long codes: canonical (first_code, first_index, count) per length.
+        # A window of `ln` bits is a valid codeword of that length iff
+        # 0 <= window - first_code < count; canonical assignment puts
+        # every extension of a shorter codeword *below* first_code, so
+        # scanning lengths ascending and taking the first in-range hit
+        # is exact.
+        self.long_codes: dict[int, tuple[int, int, int]] = {}
+        self.sorted_symbols = np.empty(0, dtype=np.int64)
+        if (~short).any():
+            order = np.lexsort((np.arange(len(lengths)), lengths))
+            sorted_lengths = lengths[order]
+            sorted_cw = code.codewords[order]
+            self.sorted_symbols = code.symbols[order]
+            for ln in range(t_bits + 1, self.max_len + 1):
+                where = np.nonzero(sorted_lengths == ln)[0]
+                if where.size:
+                    self.long_codes[ln] = (
+                        int(sorted_cw[where[0]]),
+                        int(where[0]),
+                        int(where.size),
+                    )
+
+    def _build_fast_table(self) -> None:
+        """Multi-symbol lookup: for every t_bits window, the run of
+        *complete* codewords it contains and their total bit length.
+
+        By the prefix property, a codeword whose length fits inside the
+        window's known bits is fully determined by them — the padding
+        beyond cannot change the table entry it spans.  One lookup then
+        yields several symbols at once (for skewed SZ histograms the
+        average is 3-5 symbols per 12-bit window).
+        """
+        tab_sym = self.tab_sym.tolist()
+        tab_len = self.tab_len.tolist()
+        t_bits = self.t_bits
+        fast_syms: list[tuple[int, ...]] = []
+        fast_bits: list[int] = []
+        for w in range(1 << t_bits):
+            syms: list[int] = []
+            rem = t_bits
+            known = w
+            while True:
+                window = known << (t_bits - rem)
+                ln = tab_len[window]
+                if ln == 0 or ln > rem:
+                    break
+                syms.append(tab_sym[window])
+                rem -= ln
+                known &= (1 << rem) - 1
+            fast_syms.append(tuple(syms))
+            fast_bits.append(t_bits - rem)
+        self._fast_syms = fast_syms
+        self._fast_bits = fast_bits
+
+    def decode(self, packed: PackedBits, n_values: int) -> np.ndarray:
+        # Hot loop notes (profile-driven, see the HPC guides): plain
+        # Python lists beat ndarray scalar indexing ~4x here, the
+        # buffer refills eight bytes per int.from_bytes call, and the
+        # multi-symbol fast table drains several codewords per window
+        # lookup (see _build_fast_table).
+        # The multi-symbol table only pays when windows typically hold
+        # several codewords; the stream itself tells us the average
+        # bits/symbol.  Above the threshold, skip both the build cost
+        # and the per-iteration fast-path overhead.
+        use_fast = n_values > 0 and packed.n_bits / n_values <= self.t_bits / 2
+        if use_fast and not hasattr(self, "_fast_syms"):
+            self._build_fast_table()
+        fast_syms = self._fast_syms if use_fast else None
+        fast_bits = self._fast_bits if use_fast else None
+        out = [0] * n_values
+        data = packed.data
+        tab_sym = self.tab_sym.tolist()
+        tab_len = self.tab_len.tolist()
+        t_bits = self.t_bits
+        t_mask = (1 << t_bits) - 1
+        max_len = self.max_len
+        long_codes = self.long_codes
+        n_bits = packed.n_bits
+        buf = 0
+        buf_len = 0
+        pos = 0
+        consumed = 0
+        n_bytes = len(data)
+        i = 0
+        while i < n_values:
+            if buf_len < max_len and pos < n_bytes:
+                take = n_bytes - pos
+                if take > 8:
+                    take = 8
+                buf = (buf << (take << 3)) | int.from_bytes(
+                    data[pos : pos + take], "big"
+                )
+                pos += take
+                buf_len += take << 3
+            if buf_len >= t_bits:
+                window = (buf >> (buf_len - t_bits)) & t_mask
+                if fast_syms is not None:
+                    syms = fast_syms[window]
+                    k = len(syms)
+                    if k > 1 and i + k <= n_values:
+                        out[i : i + k] = syms
+                        i += k
+                        used = fast_bits[window]
+                        consumed += used
+                        if consumed > n_bits:
+                            raise ValueError(
+                                "huffman bitstream ended mid-codeword"
+                            )
+                        buf_len -= used
+                        buf &= (1 << buf_len) - 1
+                        continue
+            else:
+                window = (buf << (t_bits - buf_len)) & t_mask
+            ln = tab_len[window]
+            if ln:
+                out[i] = tab_sym[window]
+            else:
+                # Long code: widen the window one bit at a time.
+                sym = None
+                for try_len in range(t_bits + 1, max_len + 1):
+                    if buf_len < try_len:
+                        break
+                    entry = long_codes.get(try_len)
+                    if entry is None:
+                        continue
+                    cw = (buf >> (buf_len - try_len)) & ((1 << try_len) - 1)
+                    first_code, first_idx, count = entry
+                    offset = cw - first_code
+                    if 0 <= offset < count:
+                        sym = self.sorted_symbols[first_idx + offset]
+                        ln = try_len
+                        break
+                if sym is None:
+                    raise ValueError("corrupt huffman bitstream")
+                out[i] = int(sym)
+            consumed += ln
+            if consumed > n_bits:
+                raise ValueError("huffman bitstream ended mid-codeword")
+            buf_len -= ln
+            buf &= (1 << buf_len) - 1
+            i += 1
+        return np.array(out, dtype=np.int64)
+
+
+def decode(packed: PackedBits, code: HuffmanCode, n_values: int) -> np.ndarray:
+    """Decode ``n_values`` symbols from a Huffman bitstream."""
+    if n_values == 0:
+        return np.empty(0, dtype=np.int64)
+    return _Decoder(code).decode(packed, n_values)

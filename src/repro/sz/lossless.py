@@ -1,0 +1,32 @@
+"""The final lossless stage (paper step 4: "a pass of a lossless
+compressor such as GZIP"; Algorithm 1 says "Apply Zlib compression").
+
+A thin, explicit wrapper around :mod:`zlib` so the schemes can reason
+about — and the time-breakdown instrumentation can attribute — exactly
+one lossless boundary.  The Encr-Quant results in the paper hinge on
+what AES-randomized bytes do to *this* stage.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+__all__ = ["compress", "decompress", "DEFAULT_LEVEL"]
+
+#: zlib's own default trade-off; SZ uses the Zlib default as well.
+DEFAULT_LEVEL = 6
+
+
+def compress(data: bytes, level: int = DEFAULT_LEVEL) -> bytes:
+    """zlib-compress ``data`` (level 0..9)."""
+    if not 0 <= level <= 9:
+        raise ValueError(f"zlib level must be 0..9, got {level}")
+    return zlib.compress(data, level)
+
+
+def decompress(data: bytes) -> bytes:
+    """Inverse of :func:`compress`; raises ``ValueError`` on bad input."""
+    try:
+        return zlib.decompress(data)
+    except zlib.error as exc:
+        raise ValueError(f"corrupt lossless stream: {exc}") from exc

@@ -1,0 +1,265 @@
+"""Linear-scale quantization on the error-bound grid.
+
+SZ's quantization maps each prediction residual to an integer code so
+that reconstruction lands within the user's error bound.  We use the
+*grid* formulation (DESIGN.md §5): a value ``x`` is first snapped to
+the integer grid ``q = rint(x / (2·eb))``, which already guarantees
+``|x - q·2eb| <= eb``.  Prediction and residual computation then happen
+exactly, in integers, and are fully vectorizable; the reconstruction is
+``q·2eb`` at every point, so the absolute error bound holds for
+predictable *and* unpredictable data alike.
+
+The code layout matches SZ: code ``0`` is the *unpredictable* sentinel
+(the paper's Fig. 2/3 gray points); predictable residual ``r`` with
+``|r| < R`` maps to code ``r + R`` in ``1 .. 2R-1``.  ``2R`` is the
+number of quantization intervals (SZ's ``quantization_intervals``),
+chosen adaptively from a residual sample like SZ's interval optimizer.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "ErrorBound",
+    "grid_quantize",
+    "grid_quantize_verified",
+    "grid_reconstruct",
+    "codes_from_residuals",
+    "residuals_from_codes",
+    "choose_radius",
+    "MAX_RADIUS",
+    "MIN_RADIUS",
+]
+
+#: Largest quantization radius (2*MAX_RADIUS intervals = SZ's 65536 cap).
+MAX_RADIUS = 1 << 15
+#: Smallest radius considered by the adaptive interval optimizer.
+MIN_RADIUS = 1 << 4
+
+#: Grid indices beyond this magnitude risk int64 overflow in the
+#: Lorenzo stencil (an alternating sum of up to 8 grid values).
+_GRID_LIMIT = float(1 << 58)
+
+
+@dataclass(frozen=True)
+class ErrorBound:
+    """A user error-bound specification.
+
+    Parameters
+    ----------
+    value:
+        The bound.  Must be positive.
+    mode:
+        ``"abs"`` — absolute bound (the paper's mode); ``"rel"`` —
+        value-range-relative: the effective absolute bound is
+        ``value * (max - min)`` of the dataset; ``"pw_rel"`` —
+        point-wise relative: ``|x' - x| <= value * |x|`` at every
+        point, implemented by the compressor through a logarithmic
+        pre-transform (zero values are restored exactly).
+    """
+
+    value: float
+    mode: str = "abs"
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("abs", "rel", "pw_rel"):
+            raise ValueError(f"unknown error-bound mode {self.mode!r}")
+        if not (self.value > 0.0) or not math.isfinite(self.value):
+            raise ValueError(f"error bound must be positive and finite, got {self.value}")
+
+    def resolve(self, data: np.ndarray) -> float:
+        """The effective absolute bound for ``data``.
+
+        For ``pw_rel`` this is the absolute bound *in log2 space*:
+        compressing ``log2|x|`` with bound ``log2(1 + r)`` guarantees
+        ``|x' - x| <= r * |x|`` after the exponential inverse.
+        """
+        if self.mode == "abs":
+            return self.value
+        if self.mode == "pw_rel":
+            # Reserve a half-ulp of the output dtype: the final cast of
+            # 2^y' can add that much relative error on top of the
+            # log-space bound, and the user-facing guarantee is on the
+            # *stored* values.
+            margin = 2.0**-23 if np.asarray(data).dtype == np.float32 else 2.0**-52
+            effective = (1.0 + self.value) * (1.0 - margin)
+            if effective <= 1.0:
+                raise ValueError(
+                    f"pw_rel bound {self.value} is below the output "
+                    "dtype's relative resolution"
+                )
+            return math.log2(effective)
+        lo = float(np.min(data))
+        hi = float(np.max(data))
+        value_range = hi - lo
+        if value_range == 0.0:
+            # A constant field: any positive bound works; pick the raw
+            # value so behaviour is continuous as range -> 0.
+            return self.value
+        return self.value * value_range
+
+
+def grid_quantize(data: np.ndarray, eb: float) -> np.ndarray:
+    """Snap ``data`` onto the ``2·eb`` grid, returning int64 indices.
+
+    Raises
+    ------
+    ValueError
+        If any grid index would overflow the exact int64/float64 range
+        (bound too tight for the data's magnitude).
+    """
+    scaled = np.asarray(data, dtype=np.float64) / (2.0 * eb)
+    if not np.isfinite(scaled).all():
+        raise ValueError("data contains non-finite values")
+    if np.abs(scaled).max(initial=0.0) >= _GRID_LIMIT:
+        raise ValueError(
+            "error bound too tight for the data magnitude: grid index "
+            "would overflow; loosen the bound or rescale the data"
+        )
+    return np.rint(scaled).astype(np.int64)
+
+
+def grid_quantize_verified(data: np.ndarray, eb: float) -> tuple[np.ndarray, np.ndarray]:
+    """Grid-quantize and *verify* the bound in the output dtype.
+
+    Casting the float64 reconstruction ``q·2eb`` to float32 adds up to
+    half a ulp, which can push a point marginally past the bound when
+    ``eb`` is near the data's ulp.  This encoder-side pass checks every
+    point against its actual round-tripped value and nudges the grid
+    index by ±1 where that recovers the bound — the same
+    decompressed-value verification SZ performs during encoding.
+
+    Returns the repaired grid and the flat indices of points where *no*
+    neighbouring grid index satisfies the bound (only possible when
+    ``eb`` is below the representable resolution of the data).  The
+    compressor stores those points verbatim in its ``exact`` channel,
+    exactly like SZ's verbatim unpredictable floats, so the user-facing
+    bound holds unconditionally.
+    """
+    q = grid_quantize(data, eb)
+    dtype = data.dtype
+    if dtype == np.float32:
+        q = _collapse_phantom_precision(data, q, eb)
+    recon = grid_reconstruct(q, eb, dtype)
+    err = np.abs(recon.astype(np.float64) - np.asarray(data, dtype=np.float64))
+    bad = err > eb
+    if not bad.any():
+        return q, np.empty(0, dtype=np.int64)
+    idx = np.nonzero(np.ravel(bad))[0]
+    flat_q = np.ravel(q).copy()
+    flat_x = np.ravel(np.asarray(data, dtype=np.float64))
+    best_q = flat_q[idx]
+    best_err = np.ravel(err)[idx]
+    for delta in (-1, 1):
+        cand = flat_q[idx] + delta
+        cand_err = np.abs(
+            grid_reconstruct(cand, eb, dtype).astype(np.float64) - flat_x[idx]
+        )
+        better = cand_err < best_err
+        best_q = np.where(better, cand, best_q)
+        best_err = np.where(better, cand_err, best_err)
+    flat_q[idx] = best_q
+    still_bad = idx[best_err > eb]
+    return flat_q.reshape(q.shape), still_bad
+
+
+def _collapse_phantom_precision(data: np.ndarray, q: np.ndarray,
+                                eb: float) -> np.ndarray:
+    """Remove sub-ulp "phantom" grid precision from float32 data.
+
+    When ``eb`` is far below a value's float32 ulp, *every* grid index
+    in a wide window casts back to the identical float32 — yet
+    ``rint(x/2eb)`` picks one whose low bits mirror the float's own
+    representation, feeding the entropy coder bits that carry no
+    information (real SZ never pays them: it stores such points as
+    verbatim 4-byte floats).  For each point whose quarter-ulp exceeds
+    the bound we substitute the *lowest* admissible grid index.  The
+    resulting staircase tracks the data at its own representable
+    resolution, so downstream residuals match the true information
+    content, while the reconstruction still casts to the exact float32
+    (error 0 at those points).
+    """
+    x = np.asarray(data, dtype=np.float64)
+    tol = 0.25 * np.spacing(np.abs(np.asarray(data, dtype=np.float32))).astype(
+        np.float64
+    )
+    mask = tol > eb
+    if not mask.any():
+        return q
+    q = q.copy()
+    q[mask] = np.ceil((x[mask] - tol[mask]) / (2.0 * eb)).astype(np.int64)
+    return q
+
+
+def grid_reconstruct(q: np.ndarray, eb: float, dtype: np.dtype) -> np.ndarray:
+    """Map grid indices back to values (``q·2eb``) in the original dtype."""
+    return (np.asarray(q, dtype=np.float64) * (2.0 * eb)).astype(dtype)
+
+
+def choose_radius(residuals: np.ndarray, *, coverage: float = 0.995,
+                  sample_limit: int = 65536) -> int:
+    """Adaptively pick the quantization radius (SZ's interval optimizer).
+
+    Chooses the smallest power-of-two radius ``R`` in
+    [:data:`MIN_RADIUS`, :data:`MAX_RADIUS`] such that at least
+    ``coverage`` of a residual sample satisfies ``|r| < R``.  Residuals
+    outside the final radius become unpredictable data.
+    """
+    if not 0.0 < coverage <= 1.0:
+        raise ValueError("coverage must be in (0, 1]")
+    flat = np.ravel(residuals)
+    if flat.size == 0:
+        return MIN_RADIUS
+    if flat.size > sample_limit:
+        stride = flat.size // sample_limit
+        flat = flat[::stride]
+    mags = np.abs(flat)
+    radius = MIN_RADIUS
+    while radius < MAX_RADIUS:
+        if (mags < radius).mean() >= coverage:
+            return radius
+        radius <<= 1
+    return MAX_RADIUS
+
+
+def codes_from_residuals(residuals: np.ndarray, radius: int) -> tuple[np.ndarray, np.ndarray]:
+    """Map residuals to quantization codes.
+
+    Returns
+    -------
+    codes:
+        int64 array; ``0`` marks unpredictable points, predictable
+        residual ``r`` becomes ``r + radius`` (1 .. 2·radius - 1).
+    unpredictable:
+        Boolean mask of the sentinel positions (paper Fig. 3's gray
+        points).
+    """
+    r = np.asarray(residuals, dtype=np.int64)
+    unpredictable = np.abs(r) >= radius
+    codes = np.where(unpredictable, np.int64(0), r + np.int64(radius))
+    return codes, unpredictable
+
+
+def residuals_from_codes(codes: np.ndarray, radius: int,
+                         unpredictable_residuals: np.ndarray) -> np.ndarray:
+    """Invert :func:`codes_from_residuals`.
+
+    ``unpredictable_residuals`` supplies, in C order of the sentinel
+    positions, the residual values that did not fit the radius.
+    """
+    codes = np.asarray(codes, dtype=np.int64)
+    sentinel = codes == 0
+    n_unpred = int(sentinel.sum())
+    if unpredictable_residuals.size != n_unpred:
+        raise ValueError(
+            f"stream has {n_unpred} unpredictable points but "
+            f"{unpredictable_residuals.size} stored residuals"
+        )
+    residuals = codes - np.int64(radius)
+    if n_unpred:
+        residuals[sentinel] = unpredictable_residuals
+    return residuals

@@ -1,0 +1,45 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+KEY = bytes(range(16))
+
+
+@pytest.fixture(scope="session")
+def key() -> bytes:
+    """A fixed 16-byte AES key."""
+    return KEY
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    """Session-wide seeded generator for test data."""
+    return np.random.default_rng(0xC0FFEE)
+
+
+@pytest.fixture(scope="session")
+def smooth_field() -> np.ndarray:
+    """A smooth, highly-predictable 3-D float32 field."""
+    x = np.linspace(0.0, 4.0, 24)
+    gx, gy, gz = np.meshgrid(x, x, x, indexing="ij")
+    return (np.sin(gx) * np.cos(gy) + 0.1 * gz).astype(np.float32)
+
+
+@pytest.fixture(scope="session")
+def noisy_field() -> np.ndarray:
+    """A hard-to-compress 3-D float32 field (random mantissas)."""
+    gen = np.random.default_rng(1234)
+    return np.exp(gen.standard_normal((20, 20, 20))).astype(np.float32)
+
+
+@pytest.fixture(scope="session")
+def sparse_field() -> np.ndarray:
+    """A mostly-zero field (cloud/ice character)."""
+    gen = np.random.default_rng(99)
+    field = np.zeros((16, 24, 24), dtype=np.float32)
+    mask = gen.random(field.shape) > 0.97
+    field[mask] = gen.random(int(mask.sum()), dtype=np.float32) * 1e-3
+    return field

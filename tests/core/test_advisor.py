@@ -1,0 +1,43 @@
+"""The scheme-selection advisor."""
+
+import numpy as np
+import pytest
+
+from repro.core.advisor import recommend_scheme
+from repro.datasets import generate
+
+
+class TestRecommendScheme:
+    def test_full_randomness_forces_cmpr_encr(self, smooth_field):
+        rec = recommend_scheme(smooth_field, 1e-3,
+                               require_full_randomness=True)
+        assert rec.scheme == "cmpr_encr"
+        assert any("NIST" in r for r in rec.reasons)
+
+    def test_compressible_data_gets_encr_huffman(self):
+        data = generate("q2", size="tiny")
+        rec = recommend_scheme(data, 1e-3)
+        assert rec.scheme == "encr_huffman"
+        assert rec.predictable_fraction > 0.9
+
+    def test_hard_data_gets_encr_huffman(self):
+        data = generate("nyx", size="tiny")
+        rec = recommend_scheme(data, 1e-7)
+        assert rec.scheme == "encr_huffman"
+        assert rec.predictable_fraction < 0.5
+
+    def test_evidence_fields_are_fractions(self, smooth_field):
+        rec = recommend_scheme(smooth_field, 1e-4)
+        assert 0.0 <= rec.predictable_fraction <= 1.0
+        assert 0.0 <= rec.tree_fraction_of_quant <= 1.0
+        assert 0.0 <= rec.quant_fraction_of_stream <= 1.0
+
+    def test_reasons_always_given(self, noisy_field):
+        rec = recommend_scheme(noisy_field, 1e-2)
+        assert rec.reasons
+
+    def test_sampling_keeps_it_cheap(self):
+        # A large field must be sampled, not compressed outright.
+        data = np.zeros(2_000_000, dtype=np.float32)
+        rec = recommend_scheme(data, 1e-3, sample_elements=4096)
+        assert rec.scheme in ("encr_huffman", "cmpr_encr")

@@ -1,0 +1,121 @@
+"""SECZ container framing."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import container as cont
+
+
+class TestSections:
+    def test_roundtrip(self):
+        sections = {"meta": b"abc", "tree": b"", "codes": b"\x00" * 100}
+        blob = cont.pack_sections(sections)
+        assert cont.unpack_sections(blob) == sections
+
+    def test_empty_set(self):
+        assert cont.unpack_sections(cont.pack_sections({})) == {}
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown section name"):
+            cont.pack_sections({"bogus": b""})
+
+    def test_trailing_bytes_rejected(self):
+        blob = cont.pack_sections({"meta": b"x"}) + b"junk"
+        with pytest.raises(ValueError, match="trailing"):
+            cont.unpack_sections(blob)
+
+    def test_truncated_table_rejected(self):
+        blob = cont.pack_sections({"meta": b"x", "tree": b"y"})
+        with pytest.raises(ValueError):
+            cont.unpack_sections(blob[:5])
+
+    def test_truncated_payload_rejected(self):
+        blob = cont.pack_sections({"meta": b"0123456789"})
+        with pytest.raises(ValueError, match="truncated"):
+            cont.unpack_sections(blob[:-2])
+
+    def test_unknown_id_rejected(self):
+        blob = bytearray(cont.pack_sections({"meta": b"x"}))
+        blob[1] = 250  # stomp the section id
+        with pytest.raises(ValueError, match="unknown section id"):
+            cont.unpack_sections(bytes(blob))
+
+    def test_empty_blob_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            cont.unpack_sections(b"")
+
+
+class TestContainer:
+    def test_roundtrip(self):
+        sections = {"zblob": b"payload", "cipher": b"\x01" * 32}
+        blob = cont.pack_container(3, "cbc", bytes(16), sections)
+        parsed = cont.parse_container(blob)
+        assert parsed.scheme_id == 3
+        assert parsed.cipher_mode == "cbc"
+        assert parsed.iv == bytes(16)
+        assert parsed.sections == sections
+
+    def test_short_iv_roundtrip(self):
+        blob = cont.pack_container(1, "ctr", b"12345678", {"cipher": b"x"})
+        parsed = cont.parse_container(blob)
+        assert parsed.iv == b"12345678"
+        assert parsed.cipher_mode == "ctr"
+
+    def test_bad_magic_rejected(self):
+        blob = cont.pack_container(0, "cbc", bytes(16), {"zblob": b""})
+        with pytest.raises(ValueError, match="magic"):
+            cont.parse_container(b"XXXX" + blob[4:])
+
+    def test_bad_version_rejected(self):
+        blob = bytearray(cont.pack_container(0, "cbc", bytes(16), {"zblob": b""}))
+        blob[4] = 99
+        with pytest.raises(ValueError, match="version"):
+            cont.parse_container(bytes(blob))
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError, match="mode"):
+            cont.pack_container(0, "gcm", bytes(16), {})
+        blob = bytearray(cont.pack_container(0, "cbc", bytes(16), {"zblob": b""}))
+        blob[6] = 9
+        with pytest.raises(ValueError, match="mode"):
+            cont.parse_container(bytes(blob))
+
+    def test_oversized_iv_rejected(self):
+        with pytest.raises(ValueError, match="IV"):
+            cont.pack_container(0, "cbc", bytes(17), {})
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError, match="shorter"):
+            cont.parse_container(b"SECZ")
+
+
+@given(
+    data=st.dictionaries(
+        st.sampled_from(sorted(cont.SECTION_IDS)),
+        st.binary(max_size=200),
+        max_size=len(cont.SECTION_IDS),
+    ),
+    scheme_id=st.integers(0, 3),
+    mode=st.sampled_from(["cbc", "ctr"]),
+)
+@settings(max_examples=50, deadline=None)
+def test_container_roundtrip_property(data, scheme_id, mode):
+    iv = bytes(16) if mode == "cbc" else bytes(8)
+    blob = cont.pack_container(scheme_id, mode, iv, data)
+    parsed = cont.parse_container(blob)
+    assert parsed.sections == data
+    assert parsed.scheme_id == scheme_id
+    assert parsed.cipher_mode == mode
+    assert parsed.iv == iv
+
+
+@given(blob=st.binary(max_size=300))
+@settings(max_examples=100, deadline=None)
+def test_parser_never_crashes_on_garbage(blob):
+    """Fuzz: arbitrary bytes either parse or raise ValueError — never
+    any other exception type."""
+    try:
+        cont.parse_container(blob)
+    except ValueError:
+        pass

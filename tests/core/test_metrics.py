@@ -1,0 +1,82 @@
+"""The paper's evaluation metrics (Eq. 1-3)."""
+
+import numpy as np
+import pytest
+
+from repro.core import metrics
+
+
+class TestCompressionRatio:
+    def test_basic(self):
+        assert metrics.compression_ratio(100, 10) == 10.0
+
+    def test_expansion_below_one(self):
+        assert metrics.compression_ratio(10, 100) == 0.1
+
+    def test_rejects_zero_compressed(self):
+        with pytest.raises(ValueError):
+            metrics.compression_ratio(100, 0)
+
+    def test_rejects_negative_original(self):
+        with pytest.raises(ValueError):
+            metrics.compression_ratio(-1, 10)
+
+
+class TestBandwidth:
+    def test_mb_per_second(self):
+        assert metrics.bandwidth_mb_s(1024 * 1024, 1.0) == 1.0
+        assert metrics.bandwidth_mb_s(10 * 1024 * 1024, 2.0) == 5.0
+
+    def test_rejects_zero_time(self):
+        with pytest.raises(ValueError):
+            metrics.bandwidth_mb_s(100, 0.0)
+
+
+class TestOverhead:
+    def test_paper_semantics(self):
+        # >100% = slower than baseline, <100% = faster (Encr-Huffman).
+        assert metrics.overhead_percent(1.05, 1.0) == pytest.approx(105.0)
+        assert metrics.overhead_percent(0.93, 1.0) == pytest.approx(93.0)
+
+    def test_rejects_bad_baseline(self):
+        with pytest.raises(ValueError):
+            metrics.overhead_percent(1.0, 0.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            metrics.overhead_percent(-1.0, 1.0)
+
+
+class TestNormalizedCr:
+    def test_unity_baseline(self):
+        assert metrics.normalized_cr(9.9, 10.0) == pytest.approx(0.99)
+
+    def test_rejects_zero_baseline(self):
+        with pytest.raises(ValueError):
+            metrics.normalized_cr(1.0, 0.0)
+
+
+class TestErrorMetrics:
+    def test_max_abs_error(self):
+        a = np.array([1.0, 2.0, 3.0])
+        b = np.array([1.1, 1.9, 3.0])
+        assert metrics.max_abs_error(a, b) == pytest.approx(0.1)
+
+    def test_max_abs_error_shape_mismatch(self):
+        with pytest.raises(ValueError, match="shape"):
+            metrics.max_abs_error(np.zeros(3), np.zeros(4))
+
+    def test_psnr_identical_is_inf(self):
+        a = np.linspace(0, 1, 100)
+        assert metrics.psnr(a, a) == float("inf")
+
+    def test_psnr_decreases_with_noise(self):
+        rng = np.random.default_rng(0)
+        a = np.linspace(0, 1, 1000)
+        small = metrics.psnr(a, a + 1e-6 * rng.standard_normal(1000))
+        large = metrics.psnr(a, a + 1e-2 * rng.standard_normal(1000))
+        assert small > large
+
+    def test_psnr_constant_signal(self):
+        a = np.zeros(10)
+        assert metrics.psnr(a, a + 0.1) == float("-inf")

@@ -1,0 +1,115 @@
+"""The SecureCompressor façade."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import SecureCompressor
+
+
+def _max_err(a, b):
+    return float(np.max(np.abs(a.astype(np.float64) - b.astype(np.float64))))
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize("scheme", ["none", "cmpr_encr", "encr_quant",
+                                        "encr_huffman"])
+    def test_all_schemes(self, scheme, smooth_field, key):
+        sc = SecureCompressor(scheme=scheme, error_bound=1e-4, key=key)
+        result = sc.compress(smooth_field)
+        out = sc.decompress(result.container)
+        assert _max_err(out, smooth_field) <= 1e-4
+        assert result.scheme == scheme
+        assert result.compressed_bytes == len(result.container)
+
+    @pytest.mark.parametrize("mode", ["cbc", "ctr"])
+    def test_cipher_modes(self, mode, smooth_field, key):
+        sc = SecureCompressor("encr_huffman", 1e-3, key=key, cipher_mode=mode)
+        out = sc.decompress(sc.compress(smooth_field).container)
+        assert _max_err(out, smooth_field) <= 1e-3
+
+    def test_deterministic_with_seeded_rng(self, smooth_field, key):
+        a = SecureCompressor("encr_huffman", 1e-3, key=key,
+                             random_state=np.random.default_rng(5))
+        b = SecureCompressor("encr_huffman", 1e-3, key=key,
+                             random_state=np.random.default_rng(5))
+        assert a.compress(smooth_field).container == b.compress(
+            smooth_field
+        ).container
+
+    def test_fresh_ivs_differ(self, smooth_field, key):
+        sc = SecureCompressor("encr_huffman", 1e-3, key=key)
+        a = sc.compress(smooth_field).container
+        b = sc.compress(smooth_field).container
+        assert a != b  # the IV (and thus tree ciphertext) must differ
+
+    def test_decompress_with_times(self, smooth_field, key):
+        sc = SecureCompressor("cmpr_encr", 1e-3, key=key)
+        result = sc.compress(smooth_field)
+        out, times = sc.decompress_with_times(result.container)
+        assert _max_err(out, smooth_field) <= 1e-3
+        assert "decrypt" in times.seconds
+        assert "huffman_decode" in times.seconds
+
+
+class TestResultStats:
+    def test_encrypted_bytes_ordering(self, smooth_field, key):
+        sizes = {}
+        for scheme in ("none", "encr_huffman", "encr_quant", "cmpr_encr"):
+            sc = SecureCompressor(scheme, 1e-4, key=key)
+            sizes[scheme] = sc.compress(smooth_field).encrypted_bytes
+        assert sizes["none"] == 0
+        assert 0 < sizes["encr_huffman"] < sizes["encr_quant"] <= sizes["cmpr_encr"]
+
+    def test_sz_stats_passthrough(self, smooth_field, key):
+        result = SecureCompressor("encr_huffman", 1e-4, key=key).compress(
+            smooth_field
+        )
+        assert result.sz_stats.n_elements == smooth_field.size
+
+    def test_times_include_scheme_stages(self, smooth_field, key):
+        result = SecureCompressor("encr_quant", 1e-4, key=key).compress(
+            smooth_field
+        )
+        assert "encrypt" in result.times.seconds
+        assert "lossless" in result.times.seconds
+        assert "predict" in result.times.seconds
+
+
+class TestValidation:
+    def test_key_required(self):
+        with pytest.raises(ValueError, match="requires"):
+            SecureCompressor(scheme="encr_huffman", key=None)
+
+    def test_none_scheme_needs_no_key(self, smooth_field):
+        sc = SecureCompressor(scheme="none")
+        out = sc.decompress(sc.compress(smooth_field).container)
+        assert _max_err(out, smooth_field) <= 1e-3
+
+    def test_unknown_scheme(self, key):
+        with pytest.raises(ValueError, match="unknown scheme"):
+            SecureCompressor(scheme="double_rot13", key=key)
+
+    def test_unknown_mode(self, key):
+        with pytest.raises(ValueError, match="mode"):
+            SecureCompressor("encr_huffman", key=key, cipher_mode="xts")
+
+    def test_scheme_mismatch_on_decompress(self, smooth_field, key):
+        writer = SecureCompressor("encr_huffman", 1e-3, key=key)
+        reader = SecureCompressor("cmpr_encr", 1e-3, key=key)
+        blob = writer.compress(smooth_field).container
+        with pytest.raises(ValueError, match="scheme"):
+            reader.decompress(blob)
+
+    def test_wrong_key_decompress_fails(self, smooth_field, key):
+        writer = SecureCompressor("cmpr_encr", 1e-3, key=key)
+        blob = writer.compress(smooth_field).container
+        reader = SecureCompressor("cmpr_encr", 1e-3, key=bytes(16))
+        with pytest.raises(ValueError):
+            reader.decompress(blob)
+
+    def test_corrupt_container_raises_value_error(self, smooth_field, key):
+        sc = SecureCompressor("encr_huffman", 1e-3, key=key)
+        blob = bytearray(sc.compress(smooth_field).container)
+        blob[len(blob) // 2] ^= 0xFF
+        with pytest.raises(ValueError):
+            sc.decompress(bytes(blob))

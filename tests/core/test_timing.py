@@ -1,0 +1,57 @@
+"""StageTimes instrumentation."""
+
+import time
+
+import pytest
+
+from repro.core.timing import STAGE_ORDER, StageTimes
+
+
+class TestStageTimes:
+    def test_add_accumulates(self):
+        times = StageTimes()
+        times.add("encrypt", 0.5)
+        times.add("encrypt", 0.25)
+        assert times.seconds["encrypt"] == pytest.approx(0.75)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            StageTimes().add("x", -1.0)
+
+    def test_context_manager(self):
+        times = StageTimes()
+        with times.stage("sleepy"):
+            time.sleep(0.01)
+        assert times.seconds["sleepy"] >= 0.009
+
+    def test_context_manager_records_on_exception(self):
+        times = StageTimes()
+        with pytest.raises(RuntimeError):
+            with times.stage("failing"):
+                raise RuntimeError("boom")
+        assert "failing" in times.seconds
+
+    def test_merge_stagetimes_and_dict(self):
+        a = StageTimes({"x": 1.0})
+        a.merge(StageTimes({"x": 0.5, "y": 2.0}))
+        a.merge({"z": 0.1})
+        assert a.seconds == {"x": 1.5, "y": 2.0, "z": 0.1}
+
+    def test_total_and_fraction(self):
+        times = StageTimes({"a": 3.0, "b": 1.0})
+        assert times.total == pytest.approx(4.0)
+        assert times.fraction("a") == pytest.approx(0.75)
+        assert times.fraction("missing") == 0.0
+
+    def test_fraction_empty(self):
+        assert StageTimes().fraction("a") == 0.0
+
+    def test_ordered_respects_stage_order(self):
+        times = StageTimes({"lossless": 1.0, "quantize": 2.0, "custom": 3.0})
+        names = [name for name, _ in times.ordered()]
+        assert names.index("quantize") < names.index("lossless")
+        assert names[-1] == "custom"
+
+    def test_stage_order_covers_pipeline(self):
+        for stage in ("quantize", "predict", "encrypt", "lossless"):
+            assert stage in STAGE_ORDER

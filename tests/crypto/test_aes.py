@@ -1,0 +1,73 @@
+"""The AES128 façade."""
+
+import pytest
+
+from repro.crypto.aes import AES128, derive_key
+
+
+class TestAes128:
+    def test_cbc_roundtrip(self, key):
+        cipher = AES128(key)
+        enc = cipher.encrypt_cbc(b"attack at dawn")
+        assert cipher.decrypt_cbc(enc.ciphertext, enc.iv) == b"attack at dawn"
+        assert enc.mode == "cbc"
+        assert len(enc.iv) == 16
+
+    def test_ctr_roundtrip(self, key):
+        cipher = AES128(key)
+        enc = cipher.encrypt_ctr(b"attack at dawn")
+        assert cipher.decrypt_ctr(enc.ciphertext, enc.iv) == b"attack at dawn"
+        assert enc.mode == "ctr"
+        assert len(enc.iv) == 8
+
+    def test_generic_dispatch(self, key):
+        cipher = AES128(key)
+        for mode in ("cbc", "ctr"):
+            enc = cipher.encrypt(b"payload", mode=mode)
+            assert cipher.decrypt(enc.ciphertext, enc.iv, mode=mode) == b"payload"
+
+    def test_unknown_mode_rejected(self, key):
+        cipher = AES128(key)
+        with pytest.raises(ValueError, match="mode"):
+            cipher.encrypt(b"x", mode="gcm")
+        with pytest.raises(ValueError, match="mode"):
+            cipher.decrypt(b"x" * 16, bytes(16), mode="gcm")
+
+    def test_explicit_iv_deterministic(self, key):
+        cipher = AES128(key)
+        iv = bytes(16)
+        a = cipher.encrypt_cbc(b"data", iv=iv).ciphertext
+        b = cipher.encrypt_cbc(b"data", iv=iv).ciphertext
+        assert a == b
+
+    def test_random_iv_differs(self, key):
+        cipher = AES128(key)
+        a = cipher.encrypt_cbc(b"data")
+        b = cipher.encrypt_cbc(b"data")
+        assert a.iv != b.iv  # 2^-128 collision chance
+
+    def test_bad_key_length(self):
+        with pytest.raises(ValueError, match="16-byte"):
+            AES128(bytes(8))
+
+    def test_ciphertext_grows_by_padding_only(self, key):
+        cipher = AES128(key)
+        enc = cipher.encrypt_cbc(bytes(100), iv=bytes(16))
+        assert len(enc.ciphertext) == 112  # 100 -> next 16 multiple
+
+
+class TestDeriveKey:
+    def test_length(self):
+        assert len(derive_key("passphrase")) == 16
+
+    def test_deterministic(self):
+        assert derive_key("x") == derive_key("x")
+
+    def test_salt_sensitivity(self):
+        assert derive_key("x") != derive_key("x", salt=b"other")
+
+    def test_bytes_and_str_agree(self):
+        assert derive_key("abc") == derive_key(b"abc")
+
+    def test_distinct_passphrases(self):
+        assert derive_key("a") != derive_key("b")

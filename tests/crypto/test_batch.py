@@ -1,0 +1,65 @@
+"""Batched ECB engine: equivalence with the scalar cipher."""
+
+import numpy as np
+import pytest
+
+from repro.crypto import batch
+from repro.crypto.block import decrypt_block, encrypt_block
+from repro.crypto.keyschedule import expand_key
+
+EK = expand_key(b"0123456789abcdef")
+
+
+class TestBlockView:
+    def test_to_blocks_shape(self):
+        blocks = batch.to_blocks(bytes(64))
+        assert blocks.shape == (4, 16)
+        assert blocks.dtype == np.uint8
+
+    def test_to_blocks_rejects_misaligned(self):
+        with pytest.raises(ValueError, match="multiple of 16"):
+            batch.to_blocks(bytes(17))
+
+    def test_from_blocks_roundtrip(self):
+        data = bytes(range(48))
+        assert batch.from_blocks(batch.to_blocks(data)) == data
+
+
+class TestBatchEquivalence:
+    def test_encrypt_matches_scalar(self):
+        rng = np.random.default_rng(7)
+        raw = rng.integers(0, 256, size=(32, 16), dtype=np.uint8)
+        enc = batch.encrypt_blocks(raw, EK)
+        for i in range(raw.shape[0]):
+            assert enc[i].tobytes() == encrypt_block(raw[i].tobytes(), EK)
+
+    def test_decrypt_matches_scalar(self):
+        rng = np.random.default_rng(8)
+        raw = rng.integers(0, 256, size=(32, 16), dtype=np.uint8)
+        dec = batch.decrypt_blocks(raw, EK)
+        for i in range(raw.shape[0]):
+            assert dec[i].tobytes() == decrypt_block(raw[i].tobytes(), EK)
+
+    def test_roundtrip_large_batch(self):
+        rng = np.random.default_rng(9)
+        raw = rng.integers(0, 256, size=(1000, 16), dtype=np.uint8)
+        assert np.array_equal(
+            batch.decrypt_blocks(batch.encrypt_blocks(raw, EK), EK), raw
+        )
+
+    def test_single_block_batch(self):
+        pt = np.frombuffer(bytes(range(16)), dtype=np.uint8).reshape(1, 16)
+        enc = batch.encrypt_blocks(pt, EK)
+        assert enc[0].tobytes() == encrypt_block(bytes(range(16)), EK)
+
+    def test_fips_vector_through_batch(self):
+        ek = expand_key(bytes.fromhex("000102030405060708090a0b0c0d0e0f"))
+        pt = batch.to_blocks(bytes.fromhex("00112233445566778899aabbccddeeff"))
+        enc = batch.encrypt_blocks(pt, ek)
+        assert enc.tobytes().hex() == "69c4e0d86a7b0430d8cdb78070b4c55a"
+
+    def test_input_not_mutated(self):
+        raw = np.zeros((4, 16), dtype=np.uint8)
+        before = raw.copy()
+        batch.encrypt_blocks(raw, EK)
+        assert np.array_equal(raw, before)

@@ -1,0 +1,63 @@
+"""Key expansion against FIPS-197 Appendix A.1."""
+
+import numpy as np
+import pytest
+
+from repro.crypto.keyschedule import ExpandedKey, expand_key
+
+FIPS_KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+
+
+class TestExpandKey:
+    def test_first_words_are_key(self):
+        ek = expand_key(FIPS_KEY)
+        assert ek.words[0] == 0x2B7E1516
+        assert ek.words[1] == 0x28AED2A6
+        assert ek.words[2] == 0xABF71588
+        assert ek.words[3] == 0x09CF4F3C
+
+    def test_fips_a1_expansion(self):
+        # FIPS-197 Appendix A.1 w[i] values.
+        ek = expand_key(FIPS_KEY)
+        assert ek.words[4] == 0xA0FAFE17
+        assert ek.words[5] == 0x88542CB1
+        assert ek.words[9] == 0x7A96B943
+        assert ek.words[10] == 0x5935807A
+        assert ek.words[20] == 0xD4D1C6F8
+        assert ek.words[40] == 0xD014F9A8
+        assert ek.words[43] == 0xB6630CA6
+
+    def test_word_count(self):
+        assert len(expand_key(FIPS_KEY).words) == 44
+
+    def test_round_keys_layout(self):
+        ek = expand_key(FIPS_KEY)
+        assert len(ek.round_keys) == 11
+        assert all(len(rk) == 16 for rk in ek.round_keys)
+        assert ek.round_keys[0] == FIPS_KEY
+
+    def test_round_words(self):
+        ek = expand_key(FIPS_KEY)
+        assert ek.round_words(0) == tuple(ek.words[:4])
+        assert ek.round_words(10) == tuple(ek.words[40:44])
+
+    def test_as_array(self):
+        arr = expand_key(FIPS_KEY).as_array()
+        assert arr.shape == (11, 16)
+        assert arr.dtype == np.uint8
+        assert bytes(arr[0]) == FIPS_KEY
+
+    def test_rejects_bad_key_length(self):
+        with pytest.raises(ValueError, match="16-byte"):
+            expand_key(b"short")
+        with pytest.raises(ValueError, match="16-byte"):
+            expand_key(bytes(24))
+
+    def test_distinct_keys_distinct_schedules(self):
+        a = expand_key(bytes(16))
+        b = expand_key(bytes(15) + b"\x01")
+        assert a.words != b.words
+
+    def test_expanded_key_validates_word_count(self):
+        with pytest.raises(ValueError, match="44"):
+            ExpandedKey(words=(0,) * 10)

@@ -1,0 +1,105 @@
+"""Synthetic dataset generators: determinism, shape, and the
+compressibility character each field must have."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import generate
+from repro.datasets.generators import GENERATORS
+from repro.datasets.registry import DATASETS
+
+
+class TestBasics:
+    @pytest.mark.parametrize("name", sorted(GENERATORS))
+    def test_shape_and_dtype(self, name):
+        data = generate(name, size="tiny")
+        assert data.dtype == np.float32
+        assert data.shape == DATASETS[name].preset_dims("tiny")
+
+    @pytest.mark.parametrize("name", sorted(GENERATORS))
+    def test_deterministic(self, name):
+        a = generate(name, size="tiny", seed=7)
+        b = generate(name, size="tiny", seed=7)
+        assert np.array_equal(a, b)
+
+    @pytest.mark.parametrize("name", sorted(GENERATORS))
+    def test_seed_sensitivity(self, name):
+        a = generate(name, size="tiny", seed=1)
+        b = generate(name, size="tiny", seed=2)
+        assert not np.array_equal(a, b)
+
+    @pytest.mark.parametrize("name", sorted(GENERATORS))
+    def test_finite(self, name):
+        assert np.isfinite(generate(name, size="tiny")).all()
+
+    def test_explicit_dims(self):
+        data = generate("nyx", dims=(8, 9, 10))
+        assert data.shape == (8, 9, 10)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown dataset"):
+            generate("cesm")
+
+
+class TestPhysicalCharacter:
+    def test_cloudf48_sparse_nonnegative(self):
+        data = generate("cloudf48", size="tiny")
+        assert data.min() >= 0.0
+        assert (data == 0).mean() > 0.5  # mostly clear air
+        assert data.max() <= 5e-3  # mixing-ratio scale
+
+    def test_qi_sparser_than_cloud(self):
+        qi = generate("qi", size="tiny")
+        cloud = generate("cloudf48", size="tiny")
+        assert (qi == 0).mean() > (cloud == 0).mean()
+
+    def test_nyx_lognormal_character(self):
+        data = generate("nyx", size="tiny")
+        assert data.min() > 0.0
+        assert data.mean() == pytest.approx(1.0, rel=0.05)
+        assert data.max() / np.median(data) > 50  # heavy tail
+
+    def test_t_physical_range(self):
+        data = generate("t", size="tiny")
+        assert 150.0 < data.min() < data.max() < 350.0
+
+    def test_height_monotone_levels(self):
+        data = generate("height", size="tiny")
+        level_means = data.mean(axis=(1, 2))
+        assert (np.diff(level_means) > 0).all()
+
+    def test_q2_humidity_scale(self):
+        data = generate("q2", size="tiny")
+        assert data.min() >= 0.0
+        assert data.max() < 0.1
+
+    def test_wf48_vortex_amplitude(self):
+        data = generate("wf48", size="tiny")
+        assert 5.0 < np.abs(data).max() < 40.0
+
+
+class TestCompressibilityOrdering:
+    def test_table2_ordering_at_loose_bound(self):
+        """Paper Table II at eb=1e-3: QI and CLOUDf48 are far easier
+        than Nyx/T; the synthetic fields must reproduce that ordering."""
+        from repro.sz import SZCompressor
+        from repro.sz.lossless import compress as zcompress
+        from repro.core.container import pack_sections
+
+        def cr(name, eb):
+            data = generate(name, size="tiny")
+            frame = SZCompressor(eb).compress(data)
+            blob = zcompress(pack_sections(frame.sections))
+            return data.nbytes / len(blob)
+
+        easy = min(cr("qi", 1e-3), cr("cloudf48", 1e-3))
+        hard = max(cr("nyx", 1e-3), cr("t", 1e-3))
+        assert easy > 10 * hard
+
+    def test_nyx_hard_at_tight_bound(self):
+        from repro.sz import SZCompressor
+
+        data = generate("nyx", size="tiny")
+        frame = SZCompressor(1e-7).compress(data)
+        # Paper Fig. 2: at 1e-7, Nyx is dominated by unpredictable data.
+        assert frame.stats.predictable_fraction < 0.35

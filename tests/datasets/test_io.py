@@ -1,0 +1,35 @@
+"""SDRBench-style raw binary I/O."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.io import load_field, save_field
+
+
+class TestIo:
+    def test_roundtrip(self, tmp_path):
+        data = np.arange(24, dtype=np.float32).reshape(2, 3, 4)
+        path = tmp_path / "field.bin"
+        save_field(path, data)
+        assert np.array_equal(load_field(path, (2, 3, 4)), data)
+
+    def test_float64_roundtrip(self, tmp_path):
+        data = np.linspace(0, 1, 12).reshape(3, 4)
+        path = tmp_path / "field64.bin"
+        save_field(path, data)
+        out = load_field(path, (3, 4), dtype=np.float64)
+        assert np.array_equal(out, data)
+
+    def test_wrong_shape_rejected(self, tmp_path):
+        data = np.zeros(10, dtype=np.float32)
+        path = tmp_path / "f.bin"
+        save_field(path, data)
+        with pytest.raises(ValueError, match="bytes"):
+            load_field(path, (11,))
+
+    def test_noncontiguous_input_saved_correctly(self, tmp_path):
+        base = np.arange(24, dtype=np.float32).reshape(4, 6)
+        view = base[:, ::2]  # non-contiguous
+        path = tmp_path / "v.bin"
+        save_field(path, view)
+        assert np.array_equal(load_field(path, view.shape), view)

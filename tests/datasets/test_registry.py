@@ -1,0 +1,45 @@
+"""Dataset registry (Table I metadata)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.registry import DATASETS, dataset_names, get_spec
+
+
+class TestRegistry:
+    def test_table1_complete(self):
+        assert set(dataset_names()) == {
+            "cloudf48", "wf48", "nyx", "q2", "height", "qi", "t"
+        }
+
+    def test_paper_dims_match_table1(self):
+        assert get_spec("cloudf48").paper_dims == (100, 500, 500)
+        assert get_spec("nyx").paper_dims == (512, 512, 512)
+        assert get_spec("q2").paper_dims == (11, 1200, 1200)
+        assert get_spec("height").paper_dims == (98, 1200, 1200)
+        assert get_spec("qi").paper_dims == (11, 98, 1200, 1200)
+        assert get_spec("t").paper_dims == (11, 98, 1200, 1200)
+
+    def test_presets_grow(self):
+        for spec in DATASETS.values():
+            assert (
+                spec.n_elements("tiny")
+                < spec.n_elements("small")
+                < spec.n_elements("medium")
+            )
+
+    def test_presets_preserve_rank(self):
+        for spec in DATASETS.values():
+            for size in ("tiny", "small", "medium"):
+                assert len(spec.preset_dims(size)) == len(spec.paper_dims)
+
+    def test_unknown_spec(self):
+        with pytest.raises(ValueError, match="unknown"):
+            get_spec("exaalt")
+
+    def test_unknown_preset(self):
+        with pytest.raises(ValueError, match="preset"):
+            get_spec("nyx").preset_dims("gigantic")
+
+    def test_n_elements(self):
+        assert get_spec("nyx").n_elements("tiny") == 32**3

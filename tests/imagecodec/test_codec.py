@@ -1,0 +1,145 @@
+"""The JPEG-like codec: roundtrips, token machinery, quality behavior."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.metrics import psnr
+from repro.imagecodec import ImageCodec, synthetic_image
+from repro.imagecodec.codec import EOB, ZRL, _detokenize, _tokenize
+from repro.imagecodec.testimages import IMAGE_NAMES
+
+
+class TestTokenizer:
+    def test_empty_block_is_just_eob(self):
+        ac = np.zeros((1, 63), dtype=np.int64)
+        tokens, escapes = _tokenize(ac)
+        assert tokens.tolist() == [EOB]
+        assert escapes.size == 0
+
+    def test_single_coefficient(self):
+        ac = np.zeros((1, 63), dtype=np.int64)
+        ac[0, 4] = -7
+        tokens, _ = _tokenize(ac)
+        assert tokens.tolist() == [(4 << 12) | (-7 + 2048), EOB]
+
+    def test_long_zero_run_uses_zrl(self):
+        ac = np.zeros((1, 63), dtype=np.int64)
+        ac[0, 40] = 3
+        tokens, _ = _tokenize(ac)
+        assert tokens.tolist() == [ZRL, ZRL, (8 << 12) | (3 + 2048), EOB]
+
+    def test_escape_for_large_values(self):
+        ac = np.zeros((1, 63), dtype=np.int64)
+        ac[0, 0] = 100_000
+        tokens, escapes = _tokenize(ac)
+        assert tokens.tolist() == [0, EOB]  # run 0, value slot 0 = escape
+        assert escapes.tolist() == [100_000]
+
+    def test_roundtrip_dense(self):
+        rng = np.random.default_rng(0)
+        ac = rng.integers(-3000, 3000, size=(20, 63)).astype(np.int64)
+        tokens, escapes = _tokenize(ac)
+        assert np.array_equal(_detokenize(tokens, escapes, 20), ac)
+
+    def test_roundtrip_sparse(self):
+        rng = np.random.default_rng(1)
+        ac = np.zeros((50, 63), dtype=np.int64)
+        mask = rng.random(ac.shape) > 0.95
+        ac[mask] = rng.integers(-100, 100, size=int(mask.sum()))
+        tokens, escapes = _tokenize(ac)
+        assert np.array_equal(_detokenize(tokens, escapes, 50), ac)
+
+    def test_detokenize_rejects_corruption(self):
+        ac = np.zeros((2, 63), dtype=np.int64)
+        ac[0, 5] = 1
+        tokens, escapes = _tokenize(ac)
+        with pytest.raises(ValueError):
+            _detokenize(tokens[:-1], escapes, 2)  # missing final EOB
+        with pytest.raises(ValueError):
+            _detokenize(tokens, escapes, 1)  # extra block in stream
+        with pytest.raises(ValueError):
+            _detokenize(tokens, np.array([9], dtype=np.int64), 2)
+
+    @given(seed=st.integers(0, 2**32 - 1), n_blocks=st.integers(1, 30))
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_property(self, seed, n_blocks):
+        rng = np.random.default_rng(seed)
+        ac = np.zeros((n_blocks, 63), dtype=np.int64)
+        mask = rng.random(ac.shape) > 0.8
+        ac[mask] = rng.integers(-5000, 5000, size=int(mask.sum()))
+        tokens, escapes = _tokenize(ac)
+        assert np.array_equal(_detokenize(tokens, escapes, n_blocks), ac)
+
+
+class TestCodec:
+    @pytest.mark.parametrize("name", IMAGE_NAMES)
+    def test_roundtrip_shape_and_range(self, name):
+        img = synthetic_image(name, 64)
+        codec = ImageCodec(80)
+        sections, stats = codec.encode(img)
+        out = codec.decode(sections)
+        assert out.shape == img.shape
+        assert stats.n_blocks == 64
+        assert psnr(img, out) > 25.0
+
+    def test_odd_dimensions(self):
+        img = synthetic_image("scene", 64)[:53, :47]
+        codec = ImageCodec(75)
+        sections, _ = codec.encode(img)
+        out = codec.decode(sections)
+        assert out.shape == (53, 47)
+
+    def test_quality_monotonic_psnr(self):
+        img = synthetic_image("scene", 96)
+        psnrs = []
+        for quality in (20, 60, 95):
+            codec = ImageCodec(quality)
+            sections, _ = codec.encode(img)
+            psnrs.append(psnr(img, codec.decode(sections)))
+        assert psnrs[0] < psnrs[1] < psnrs[2]
+
+    def test_quality_size_tradeoff(self):
+        img = synthetic_image("texture", 96)
+        sizes = []
+        for quality in (20, 95):
+            sections, _ = ImageCodec(quality).encode(img)
+            sizes.append(sum(len(v) for v in sections.values()))
+        assert sizes[0] < sizes[1]
+
+    def test_gradient_compresses_better_than_texture(self):
+        codec = ImageCodec(75)
+        smooth, _ = codec.encode(synthetic_image("gradient", 96))
+        noisy, _ = codec.encode(synthetic_image("texture", 96))
+        assert (
+            sum(map(len, smooth.values())) < sum(map(len, noisy.values()))
+        )
+
+    def test_sections_are_scheme_compatible(self):
+        sections, _ = ImageCodec(75).encode(synthetic_image("scene", 64))
+        assert set(sections) == {
+            "meta", "tree", "codes", "unpred", "coeffs", "exact", "aux"
+        }
+
+    def test_rejects_bad_input(self):
+        codec = ImageCodec(75)
+        with pytest.raises(ValueError):
+            codec.encode(np.zeros((4, 4, 4)))
+        with pytest.raises(ValueError):
+            codec.encode(np.zeros((0, 8)))
+
+    def test_meta_validation(self):
+        sections, _ = ImageCodec(75).encode(synthetic_image("scene", 64))
+        bad = bytearray(sections["meta"])
+        bad[0] ^= 0xFF
+        with pytest.raises(ValueError, match="magic"):
+            ImageCodec.parse_meta(bytes(bad))
+        with pytest.raises(ValueError, match="length"):
+            ImageCodec.parse_meta(sections["meta"][:-1])
+
+    def test_deterministic(self):
+        img = synthetic_image("document", 64)
+        a, _ = ImageCodec(75).encode(img)
+        b, _ = ImageCodec(75).encode(img)
+        assert a == b

@@ -1,0 +1,95 @@
+"""DCT / quantization / zigzag building blocks."""
+
+import numpy as np
+import pytest
+
+from repro.imagecodec import transform
+
+
+class TestQualityTable:
+    def test_q50_is_annex_k(self):
+        assert np.array_equal(transform.quality_scaled_q(50),
+                              transform.LUMINANCE_Q)
+
+    def test_lower_quality_coarser(self):
+        q20 = transform.quality_scaled_q(20)
+        q80 = transform.quality_scaled_q(80)
+        assert (q20 >= q80).all()
+        assert (q20 > q80).any()
+
+    def test_bounds(self):
+        for quality in (1, 100):
+            q = transform.quality_scaled_q(quality)
+            assert q.min() >= 1.0
+            assert q.max() <= 255.0
+
+    def test_rejects_bad_quality(self):
+        for bad in (0, 101, -5):
+            with pytest.raises(ValueError):
+                transform.quality_scaled_q(bad)
+
+
+class TestBlockify:
+    def test_roundtrip_exact_multiple(self):
+        img = np.arange(16 * 24, dtype=np.float64).reshape(16, 24)
+        blocks, padded = transform.blockify(img)
+        assert blocks.shape == (6, 8, 8)
+        assert padded == (16, 24)
+        back = transform.unblockify(blocks, padded, img.shape)
+        assert np.array_equal(back, img)
+
+    def test_roundtrip_with_padding(self):
+        img = np.random.default_rng(0).random((13, 19))
+        blocks, padded = transform.blockify(img)
+        assert padded == (16, 24)
+        back = transform.unblockify(blocks, padded, img.shape)
+        assert np.allclose(back, img)
+
+    def test_first_block_is_corner(self):
+        img = np.arange(64 * 2, dtype=np.float64).reshape(8, 16)
+        blocks, _ = transform.blockify(img)
+        assert np.array_equal(blocks[0], img[:, :8])
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            transform.blockify(np.zeros((4, 4, 4)))
+
+
+class TestDct:
+    def test_orthonormal_roundtrip(self):
+        rng = np.random.default_rng(1)
+        blocks = rng.random((10, 8, 8))
+        back = transform.idct_blocks(transform.dct_blocks(blocks))
+        assert np.allclose(back, blocks, atol=1e-12)
+
+    def test_constant_block_is_pure_dc(self):
+        blocks = np.full((1, 8, 8), 5.0)
+        coeffs = transform.dct_blocks(blocks)
+        assert coeffs[0, 0, 0] == pytest.approx(40.0)  # 5 * 8 (ortho norm)
+        assert np.abs(coeffs[0].reshape(-1)[1:]).max() < 1e-12
+
+    def test_parseval(self):
+        rng = np.random.default_rng(2)
+        blocks = rng.random((5, 8, 8))
+        coeffs = transform.dct_blocks(blocks)
+        assert np.allclose(
+            (blocks**2).sum(axis=(1, 2)), (coeffs**2).sum(axis=(1, 2))
+        )
+
+
+class TestZigzag:
+    def test_permutation(self):
+        assert sorted(transform.ZIGZAG.tolist()) == list(range(64))
+
+    def test_inverse(self):
+        arr = np.arange(64)
+        assert np.array_equal(arr[transform.ZIGZAG][transform.INV_ZIGZAG], arr)
+
+    def test_jpeg_prefix(self):
+        # The canonical first entries of the JPEG zigzag scan.
+        flat = transform.ZIGZAG[:10]
+        coords = [(int(i) // 8, int(i) % 8) for i in flat]
+        assert coords == [
+            (0, 0), (0, 1), (1, 0), (2, 0), (1, 1),
+            (0, 2), (0, 3), (1, 2), (2, 1), (3, 0),
+        ]

@@ -1,0 +1,76 @@
+"""Multilevel split/merge transform."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.multilevel import transform
+
+
+class TestSplitMerge:
+    def test_roundtrip_1d_even(self):
+        u = np.arange(16, dtype=np.float64)
+        coarse, detail = transform.split_axis(u, 0)
+        assert coarse.shape == (8,)
+        assert detail.shape == (8,)
+        assert np.allclose(transform.merge_axis(coarse, detail, 0), u)
+
+    def test_roundtrip_1d_odd(self):
+        u = np.arange(17, dtype=np.float64)
+        coarse, detail = transform.split_axis(u, 0)
+        assert coarse.shape == (9,)
+        assert detail.shape == (8,)
+        assert np.allclose(transform.merge_axis(coarse, detail, 0), u)
+
+    def test_linear_signal_zero_detail(self):
+        # Linear interpolation predicts a linear ramp exactly.
+        u = np.linspace(0.0, 10.0, 32)
+        _, detail = transform.split_axis(u, 0)
+        assert np.abs(detail[:-1]).max() < 1e-12
+
+    def test_roundtrip_multiaxis(self):
+        rng = np.random.default_rng(0)
+        u = rng.random((9, 12, 7))
+        for axis in range(3):
+            coarse, detail = transform.split_axis(u, axis)
+            assert np.allclose(transform.merge_axis(coarse, detail, axis), u)
+
+    def test_interpolation_nonexpansive(self):
+        # Perturbing coarse by <= e perturbs the merge by <= e at every
+        # reconstructed point (the error-budget cornerstone).
+        rng = np.random.default_rng(1)
+        u = rng.random(64)
+        coarse, detail = transform.split_axis(u, 0)
+        e = 1e-3
+        noise = rng.uniform(-e, e, coarse.shape)
+        perturbed = transform.merge_axis(coarse + noise, detail, 0)
+        clean = transform.merge_axis(coarse, detail, 0)
+        assert np.abs(perturbed - clean).max() <= e + 1e-12
+
+    @given(seed=st.integers(0, 2**32 - 1), n=st.integers(2, 80),
+           ndim=st.integers(1, 3))
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_property(self, seed, n, ndim):
+        rng = np.random.default_rng(seed)
+        shape = tuple(rng.integers(2, max(3, n // ndim + 2), size=ndim))
+        u = rng.standard_normal(shape)
+        axis = int(rng.integers(0, ndim))
+        coarse, detail = transform.split_axis(u, axis)
+        assert np.allclose(transform.merge_axis(coarse, detail, axis), u,
+                           atol=1e-12)
+
+
+class TestPlanLevels:
+    def test_large_cube(self):
+        assert transform.plan_levels((64, 64, 64)) == 4
+
+    def test_small_axis_limits(self):
+        assert transform.plan_levels((4, 64, 64)) == 0
+        assert transform.plan_levels((8, 64, 64)) == 1
+
+    def test_max_levels_cap(self):
+        assert transform.plan_levels((1 << 12,), max_levels=3) == 3
+
+    def test_1d(self):
+        assert transform.plan_levels((32,)) == 3

@@ -1,0 +1,65 @@
+"""Bit-flip corruption harness."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import SecureCompressor
+from repro.security.attacks import FlipOutcome, bit_flip_study, flip_bit
+
+
+class TestFlipBit:
+    def test_flips_exactly_one_bit(self):
+        blob = bytes(16)
+        out = flip_bit(blob, 0)
+        assert out[0] == 0x80
+        assert out[1:] == blob[1:]
+
+    def test_msb_first_indexing(self):
+        out = flip_bit(bytes(2), 15)
+        assert out == b"\x00\x01"
+
+    def test_involution(self):
+        blob = bytes(range(32))
+        assert flip_bit(flip_bit(blob, 100), 100) == blob
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            flip_bit(bytes(4), 32)
+        with pytest.raises(ValueError):
+            flip_bit(bytes(4), -1)
+
+
+class TestOutcome:
+    def test_rejects_unknown_label(self):
+        with pytest.raises(ValueError):
+            FlipOutcome(0, "fine_probably", 0.0)
+
+
+class TestStudy:
+    def test_flips_are_mostly_not_harmless(self, smooth_field, key):
+        """The paper's motivation: lossy-compressed streams are fragile
+        — a single flipped bit usually breaks decoding or the bound."""
+        sc = SecureCompressor("none", 1e-3)
+        outcomes = bit_flip_study(
+            sc, smooth_field, n_flips=48, rng=np.random.default_rng(1)
+        )
+        assert len(outcomes) == 48
+        harmful = sum(o.outcome != "harmless" for o in outcomes)
+        assert harmful > len(outcomes) // 2
+
+    def test_encrypted_container_also_fragile(self, smooth_field, key):
+        sc = SecureCompressor("encr_huffman", 1e-3, key=key)
+        outcomes = bit_flip_study(
+            sc, smooth_field, n_flips=24, rng=np.random.default_rng(2)
+        )
+        assert any(o.outcome == "decode_error" for o in outcomes)
+
+    def test_outcome_fields(self, smooth_field, key):
+        sc = SecureCompressor("none", 1e-3)
+        for outcome in bit_flip_study(sc, smooth_field, n_flips=8,
+                                      rng=np.random.default_rng(3)):
+            assert 0 <= outcome.bit_index
+            assert outcome.outcome in (
+                "decode_error", "bound_violated", "silent_corruption",
+                "harmless",
+            )

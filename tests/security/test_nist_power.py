@@ -1,0 +1,123 @@
+"""Statistical power: each SP800-22 test must actually *catch* the
+defect family it was designed for (a suite that never fails is as
+broken as one that never passes)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.security.nist.bits import bytes_to_bits
+from repro.security.nist.tests_basic import (
+    block_frequency_test,
+    cumulative_sums_test,
+    longest_run_test,
+)
+from repro.security.nist.tests_complexity import linear_complexity_test
+from repro.security.nist.tests_entropy import (
+    approximate_entropy_test,
+    serial_test,
+)
+from repro.security.nist.tests_excursions import (
+    random_excursions_test,
+    random_excursions_variant_test,
+)
+from repro.security.nist.tests_matrix import binary_matrix_rank_test
+from repro.security.nist.tests_spectral import dft_test
+from repro.security.nist.tests_universal import universal_test
+
+
+@pytest.fixture(scope="module")
+def rng():
+    return np.random.default_rng(97)
+
+
+class TestDefectDetection:
+    def test_block_frequency_catches_drifting_bias(self, rng):
+        # Balanced overall, but biased block-by-block.
+        blocks = []
+        for i in range(200):
+            p = 0.4 if i % 2 == 0 else 0.6
+            blocks.append((rng.random(128) < p).astype(np.uint8))
+        bits = np.concatenate(blocks)
+        assert block_frequency_test(bits) < 0.01
+
+    def test_longest_run_catches_clustered_ones(self, rng):
+        bits = rng.integers(0, 2, size=100_000).astype(np.uint8)
+        # Plant long runs of ones.
+        for pos in range(0, bits.size - 30, 1000):
+            bits[pos : pos + 25] = 1
+        assert longest_run_test(bits) < 0.01
+
+    def test_cusum_catches_slow_drift(self, rng):
+        p = np.linspace(0.47, 0.53, 50_000)
+        bits = (rng.random(50_000) < p).astype(np.uint8)
+        assert cumulative_sums_test(bits) < 0.01
+
+    def test_matrix_rank_catches_linear_structure(self):
+        # Repeating 32-bit rows make every matrix rank-deficient.
+        row = np.random.default_rng(5).integers(0, 2, 32).astype(np.uint8)
+        bits = np.tile(row, 40 * 32)
+        assert binary_matrix_rank_test(bits) < 0.01
+
+    def test_dft_catches_periodicity(self, rng):
+        bits = rng.integers(0, 2, size=60_000).astype(np.uint8)
+        # Superimpose a strong periodic component.
+        bits[::8] = 1
+        assert dft_test(bits) < 0.01
+
+    def test_universal_catches_compressible(self, rng):
+        # Highly repetitive data has short match distances.
+        chunk = rng.integers(0, 2, size=64).astype(np.uint8)
+        bits = np.tile(chunk, 8000)  # 512k bits, above the L=6 minimum
+        p = universal_test(bits)
+        assert not math.isnan(p)
+        assert p < 0.01
+
+    def test_linear_complexity_catches_lfsr(self):
+        # A short LFSR's output has constant, tiny linear complexity.
+        state = [1, 0, 0, 1, 1]
+        seq = []
+        for _ in range(120_000):
+            seq.append(state[-1])
+            state = [state[0] ^ state[4]] + state[:-1]
+        bits = np.array(seq, dtype=np.uint8)
+        assert linear_complexity_test(bits) < 0.01
+
+    def test_serial_catches_pair_bias(self, rng):
+        # Markov chain favouring repeats: pair frequencies skew.
+        n = 60_000
+        bits = np.empty(n, dtype=np.uint8)
+        bits[0] = 0
+        stay = rng.random(n) < 0.6
+        for i in range(1, n):
+            bits[i] = bits[i - 1] if stay[i] else 1 - bits[i - 1]
+        assert serial_test(bits) < 0.01
+        assert approximate_entropy_test(bits) < 0.01
+
+    def test_excursions_need_enough_cycles(self, rng):
+        # A strongly biased walk rarely returns to zero -> N/A, not a
+        # bogus verdict.
+        bits = (rng.random(50_000) < 0.65).astype(np.uint8)
+        assert math.isnan(random_excursions_test(bits))
+        assert math.isnan(random_excursions_variant_test(bits))
+
+    def test_excursions_pass_on_true_random(self, rng):
+        bits = rng.integers(0, 2, size=2_000_000).astype(np.uint8)
+        p1 = random_excursions_test(bits)
+        p2 = random_excursions_variant_test(bits)
+        for p in (p1, p2):
+            assert math.isnan(p) or p >= 0.01
+
+
+class TestCiphertextPasses:
+    def test_aes_ctr_keystream_passes_core_tests(self, key):
+        from repro.crypto.keyschedule import expand_key
+        from repro.crypto.modes import ctr_keystream
+
+        ks = ctr_keystream(expand_key(key), b"\x07" * 8, 100_000)
+        bits = bytes_to_bits(ks.tobytes())
+        assert block_frequency_test(bits) >= 0.01
+        assert serial_test(bits) >= 0.01
+        assert dft_test(bits) >= 0.01
+        assert binary_matrix_rank_test(bits) >= 0.01

@@ -1,0 +1,69 @@
+"""Individual SP800-22 tests against the published reference examples
+(NIST SP800-22 rev. 1a worked examples) and structural sanity checks."""
+
+import numpy as np
+import pytest
+
+from repro.security.nist.tests_basic import (
+    cumulative_sums_test,
+    frequency_test,
+    longest_run_test,
+    runs_test,
+)
+
+#: The 100-bit binary expansion of pi used by several spec examples.
+PI_100 = np.array(
+    [int(c) for c in
+     "11001001000011111101101010100010001000010110100011"
+     "00001000110100110001001100011001100010100010111000"],
+    dtype=np.uint8,
+)
+
+#: SP800-22 Sec. 2.4.8 example input (n = 128).
+LONGEST_RUN_128 = np.array(
+    [int(c) for c in
+     "11001100000101010110110001001100111000000000001001"
+     "00110101010001000100111101011010000000110101111100"
+     "1100111001101101100010110010"],
+    dtype=np.uint8,
+)
+
+
+class TestReferenceValues:
+    def test_frequency_pi_example(self):
+        assert frequency_test(PI_100) == pytest.approx(0.109599, abs=1e-5)
+
+    def test_runs_pi_example(self):
+        assert runs_test(PI_100) == pytest.approx(0.500798, abs=1e-5)
+
+    def test_cusum_pi_example(self):
+        # Spec: forward 0.219194, reverse 0.114866; we report the min.
+        assert cumulative_sums_test(PI_100) == pytest.approx(0.114866, abs=1e-5)
+
+    def test_longest_run_example(self):
+        # The spec's published 0.180609 rounds the class probabilities
+        # to four digits; we match to ~1e-4.
+        assert longest_run_test(LONGEST_RUN_128) == pytest.approx(
+            0.180609, abs=5e-4
+        )
+
+
+class TestApplicabilityGates:
+    def test_short_streams_not_applicable(self):
+        short = np.ones(50, dtype=np.uint8)
+        assert np.isnan(frequency_test(short))
+        assert np.isnan(runs_test(short))
+        assert np.isnan(longest_run_test(np.ones(100, dtype=np.uint8)))
+
+    def test_biased_stream_fails_frequency(self):
+        bits = np.zeros(1000, dtype=np.uint8)
+        bits[:100] = 1  # 10% ones
+        assert frequency_test(bits) < 0.01
+
+    def test_runs_pretest_short_circuits(self):
+        bits = np.zeros(1000, dtype=np.uint8)
+        assert runs_test(bits) == 0.0
+
+    def test_alternating_fails_runs(self):
+        bits = np.tile(np.array([0, 1], dtype=np.uint8), 500)
+        assert runs_test(bits) < 0.01

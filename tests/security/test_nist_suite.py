@@ -1,0 +1,124 @@
+"""The full suite driver: known-random input passes, structured input
+fails, and the split protocol behaves like the paper's."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.security.nist import (
+    ALPHA,
+    TEST_NAMES,
+    run_all_tests,
+    run_suite,
+)
+
+
+@pytest.fixture(scope="module")
+def random_bytes():
+    # Note: any fixed seed has a ~1% per-test false-fail rate by design
+    # (ALPHA = 0.01); this seed is one that passes all 15.
+    return np.random.default_rng(42).integers(
+        0, 256, size=150_000, dtype=np.uint8
+    ).tobytes()
+
+
+class TestRunAllTests:
+    def test_all_fifteen_present(self, random_bytes):
+        from repro.security.nist.bits import bytes_to_bits
+        res = run_all_tests(bytes_to_bits(random_bytes))
+        assert set(res) == set(TEST_NAMES)
+        assert len(TEST_NAMES) == 15
+
+    def test_random_passes_everything(self, random_bytes):
+        from repro.security.nist.bits import bytes_to_bits
+        res = run_all_tests(bytes_to_bits(random_bytes))
+        for name, p in res.items():
+            assert math.isnan(p) or p >= ALPHA, f"{name} failed on RNG data"
+
+    def test_constant_fails_badly(self):
+        from repro.security.nist.bits import bytes_to_bits
+        res = run_all_tests(bytes_to_bits(b"\x00" * 20_000))
+        applicable = {k: v for k, v in res.items() if not math.isnan(v)}
+        failing = sum(1 for v in applicable.values() if v < ALPHA)
+        assert failing >= len(applicable) - 2
+
+    def test_periodic_fails_spectral_and_serial(self):
+        from repro.security.nist.bits import bytes_to_bits
+        res = run_all_tests(bytes_to_bits(b"\xaa\x55" * 10_000))
+        assert res["serial"] < ALPHA
+        assert res["approximate_entropy"] < ALPHA
+
+
+class TestRunSuite:
+    def test_random_all_pass(self, random_bytes):
+        result = run_suite(random_bytes, n_streams=4)
+        assert result.all_pass
+        rates = result.pass_rates()
+        for name, rate in rates.items():
+            assert math.isnan(rate) or rate == 1.0, name
+
+    def test_stream_splitting(self, random_bytes):
+        result = run_suite(random_bytes, n_streams=12)
+        assert result.n_streams == 12
+        assert result.stream_bits == (len(random_bytes) * 8) // 12
+        for ps in result.p_values.values():
+            assert len(ps) == 12
+
+    def test_pass_rate_granularity(self):
+        """Rates are k/n_streams — the paper's 58.33% = 7/12 shape."""
+        rng = np.random.default_rng(0)
+        # Half-random, half-constant: some streams fail.
+        blob = rng.integers(0, 256, 60_000, dtype=np.uint8).tobytes()
+        blob += b"\x00" * 60_000
+        result = run_suite(blob, n_streams=12,
+                           tests=("frequency", "runs"))
+        rate = result.pass_rate("frequency")
+        assert abs(rate * 12 - round(rate * 12)) < 1e-9
+        assert rate <= 0.5 + 1e-9
+
+    def test_subset_of_tests(self, random_bytes):
+        result = run_suite(random_bytes, n_streams=2,
+                           tests=("frequency", "serial"))
+        assert set(result.p_values) == {"frequency", "serial"}
+
+    def test_unknown_test_rejected(self, random_bytes):
+        with pytest.raises(ValueError, match="unknown tests"):
+            run_suite(random_bytes, tests=("chi_by_eye",))
+
+    def test_too_small_input_rejected(self):
+        with pytest.raises(ValueError):
+            run_suite(b"x", n_streams=12)
+
+    def test_format_table(self, random_bytes):
+        result = run_suite(random_bytes, n_streams=2,
+                           tests=("frequency",))
+        table = result.format_table()
+        assert "Statistical test" in table
+        assert "frequency" in table
+        assert "100.00%" in table
+
+
+class TestCiphertextVsPlainStream:
+    def test_aes_output_random_compressed_not(self, key):
+        """The paper's core randomness claim: Cmpr-Encr output passes,
+        plain compressed output does not."""
+        from repro.core.pipeline import SecureCompressor
+        from repro.datasets import generate
+
+        data = generate("q2", size="small")
+        encrypted = SecureCompressor(
+            "cmpr_encr", 1e-5, key=key,
+            random_state=np.random.default_rng(11),
+        ).compress(data).container
+        plain = SecureCompressor("none", 1e-5).compress(data).container
+        tests = ("frequency", "runs", "block_frequency", "serial",
+                 "approximate_entropy")
+        enc_res = run_suite(encrypted, n_streams=4, tests=tests)
+        plain_res = run_suite(plain, n_streams=4, tests=tests)
+        enc_rates = [r for r in enc_res.pass_rates().values()
+                     if not math.isnan(r)]
+        plain_rates = [r for r in plain_res.pass_rates().values()
+                       if not math.isnan(r)]
+        assert np.mean(enc_rates) > np.mean(plain_rates)
+        assert np.mean(enc_rates) == 1.0

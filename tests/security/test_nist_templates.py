@@ -1,0 +1,87 @@
+"""Template machinery of the SP800-22 non-overlapping test."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.security.nist.tests_template import (
+    DEFAULT_TEMPLATE,
+    aperiodic_templates,
+    non_overlapping_multi_template_test,
+    non_overlapping_template_test,
+    overlapping_template_test,
+)
+
+
+class TestAperiodicTemplates:
+    def test_m9_has_148_templates(self):
+        # The count the reference suite's template file carries.
+        assert len(aperiodic_templates(9)) == 148
+
+    def test_small_m_counts(self):
+        assert len(aperiodic_templates(2)) == 2
+        assert len(aperiodic_templates(3)) == 4
+        assert len(aperiodic_templates(4)) == 6
+
+    def test_all_are_aperiodic(self):
+        for template in aperiodic_templates(5):
+            m = len(template)
+            for k in range(1, m):
+                assert template[: m - k] != template[k:], template
+
+    def test_periodic_excluded(self):
+        # 101010101 is periodic with shift 2 -> must not appear.
+        assert (1, 0, 1, 0, 1, 0, 1, 0, 1) not in aperiodic_templates(9)
+        assert (1,) * 9 not in aperiodic_templates(9)
+
+    def test_default_template_is_aperiodic(self):
+        assert DEFAULT_TEMPLATE in aperiodic_templates(9)
+
+    def test_limit(self):
+        assert len(aperiodic_templates(9, limit=5)) == 5
+
+    def test_rejects_bad_m(self):
+        with pytest.raises(ValueError):
+            aperiodic_templates(1)
+        with pytest.raises(ValueError):
+            aperiodic_templates(20)
+
+
+class TestMultiTemplate:
+    def test_random_passes_most(self):
+        rng = np.random.default_rng(3)
+        bits = rng.integers(0, 2, size=200_000).astype(np.uint8)
+        results = non_overlapping_multi_template_test(bits, max_templates=16)
+        assert len(results) == 16
+        ps = [p for p in results.values() if not math.isnan(p)]
+        passing = sum(p >= 0.01 for p in ps)
+        assert passing >= len(ps) - 1
+
+    def test_planted_pattern_fails_its_template(self):
+        rng = np.random.default_rng(4)
+        bits = rng.integers(0, 2, size=120_000).astype(np.uint8)
+        template = (0, 0, 0, 0, 0, 0, 0, 0, 1)
+        # Plant the template far more often than chance.
+        tmpl = np.array(template, dtype=np.uint8)
+        for pos in range(0, bits.size - 9, 500):
+            bits[pos : pos + 9] = tmpl
+        p = non_overlapping_template_test(bits, template)
+        assert p < 0.01
+
+
+class TestOverlappingTemplate:
+    def test_random_passes(self):
+        rng = np.random.default_rng(5)
+        bits = rng.integers(0, 2, size=200_000).astype(np.uint8)
+        assert overlapping_template_test(bits) >= 0.01
+
+    def test_ones_heavy_fails(self):
+        rng = np.random.default_rng(6)
+        bits = (rng.random(200_000) < 0.7).astype(np.uint8)
+        assert overlapping_template_test(bits) < 0.01
+
+    def test_short_input_not_applicable(self):
+        assert math.isnan(
+            overlapping_template_test(np.ones(5_000, dtype=np.uint8))
+        )

@@ -1,0 +1,111 @@
+"""Integer side-channel codecs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sz import intcodec
+
+int64s = st.integers(min_value=-(2**62), max_value=2**62 - 1)
+
+
+class TestZigzag:
+    def test_small_values(self):
+        vals = np.array([0, -1, 1, -2, 2], dtype=np.int64)
+        assert list(intcodec.zigzag_encode(vals)) == [0, 1, 2, 3, 4]
+
+    def test_roundtrip_extremes(self):
+        vals = np.array([0, 1, -1, 2**62, -(2**62), 2**63 - 1, -(2**63)],
+                        dtype=np.int64)
+        assert np.array_equal(
+            intcodec.zigzag_decode(intcodec.zigzag_encode(vals)), vals
+        )
+
+    @given(st.lists(int64s, min_size=0, max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_property(self, values):
+        arr = np.array(values, dtype=np.int64)
+        assert np.array_equal(
+            intcodec.zigzag_decode(intcodec.zigzag_encode(arr)), arr
+        )
+
+
+class TestVarint:
+    def test_small_values_one_byte(self):
+        data = intcodec.varint_encode(np.array([0, -1, 1], dtype=np.int64))
+        assert len(data) == 3
+
+    def test_roundtrip(self):
+        vals = np.array([0, 1, -1, 127, -128, 300, -99999, 2**40],
+                        dtype=np.int64)
+        data = intcodec.varint_encode(vals)
+        assert np.array_equal(intcodec.varint_decode(data, len(vals)), vals)
+
+    def test_truncated_stream_rejected(self):
+        data = intcodec.varint_encode(np.array([99999], dtype=np.int64))
+        with pytest.raises(ValueError, match="truncated"):
+            intcodec.varint_decode(data[:-1], 1)
+
+    def test_overlong_varint_rejected(self):
+        with pytest.raises(ValueError, match="overflow"):
+            intcodec.varint_decode(b"\xff" * 11, 1)
+
+    @given(st.lists(int64s, min_size=0, max_size=60))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_property(self, values):
+        arr = np.array(values, dtype=np.int64)
+        data = intcodec.varint_encode(arr)
+        assert np.array_equal(intcodec.varint_decode(data, len(arr)), arr)
+
+
+class TestBytePlane:
+    def test_empty(self):
+        data = intcodec.byteplane_encode(np.empty(0, np.int64))
+        assert intcodec.byteplane_decode(data).size == 0
+
+    def test_plane_count_minimal(self):
+        # Small magnitudes need one plane: 9-byte header + n bytes.
+        vals = np.arange(-60, 60, dtype=np.int64)
+        data = intcodec.byteplane_encode(vals)
+        assert len(data) == 9 + vals.size
+
+    def test_large_values_more_planes(self):
+        vals = np.array([2**40], dtype=np.int64)
+        data = intcodec.byteplane_encode(vals)
+        assert len(data) == 9 + 6  # zigzag(2^40) needs 6 bytes
+
+    def test_roundtrip_mixed(self):
+        vals = np.array([0, -5, 1000, -(2**33), 2**50, 7], dtype=np.int64)
+        assert np.array_equal(
+            intcodec.byteplane_decode(intcodec.byteplane_encode(vals)), vals
+        )
+
+    def test_rejects_truncation(self):
+        data = intcodec.byteplane_encode(np.arange(10, dtype=np.int64))
+        with pytest.raises(ValueError):
+            intcodec.byteplane_decode(data[:-1])
+        with pytest.raises(ValueError):
+            intcodec.byteplane_decode(data[:4])
+
+    def test_rejects_bad_plane_count(self):
+        import struct
+        blob = struct.pack("<BQ", 9, 1) + bytes(9)
+        with pytest.raises(ValueError, match="plane count"):
+            intcodec.byteplane_decode(blob)
+
+    def test_zlib_friendliness(self):
+        # Byte planes of small-magnitude data must compress far better
+        # than the raw int64 bytes: that is the codec's entire purpose.
+        import zlib
+        rng = np.random.default_rng(5)
+        vals = rng.integers(-100, 100, size=4096).astype(np.int64)
+        planes = intcodec.byteplane_encode(vals)
+        assert len(zlib.compress(planes)) < len(zlib.compress(vals.tobytes()))
+
+    @given(st.lists(int64s, min_size=0, max_size=100))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_property(self, values):
+        arr = np.array(values, dtype=np.int64)
+        out = intcodec.byteplane_decode(intcodec.byteplane_encode(arr))
+        assert np.array_equal(out, arr)

@@ -1,0 +1,97 @@
+"""Multi-field secure archives."""
+
+import numpy as np
+import pytest
+
+from repro.archive import SecureArchive
+from repro.datasets import generate
+
+
+@pytest.fixture(scope="module")
+def fields():
+    return {
+        "cloud": generate("cloudf48", size="tiny"),
+        "wind": generate("wf48", size="tiny"),
+        "temp": generate("t", size="tiny"),
+    }
+
+
+class TestSecureArchive:
+    def test_pack_unpack_all(self, fields, key):
+        arch = SecureArchive("encr_huffman", key=key)
+        blob = arch.pack(fields, error_bounds=1e-4)
+        out = arch.unpack(blob)
+        assert set(out) == set(fields)
+        for name, data in fields.items():
+            err = np.max(np.abs(out[name].astype(np.float64)
+                                - data.astype(np.float64)))
+            assert err <= 1e-4, name
+
+    def test_per_field_bounds(self, fields, key):
+        arch = SecureArchive("encr_huffman", key=key)
+        bounds = {"cloud": 1e-6, "wind": 1e-2, "temp": 1e-3}
+        blob = arch.pack(fields, error_bounds=bounds)
+        out = arch.unpack(blob)
+        for name, eb in bounds.items():
+            err = np.max(np.abs(out[name].astype(np.float64)
+                                - fields[name].astype(np.float64)))
+            assert err <= eb, name
+
+    def test_partial_read(self, fields, key):
+        arch = SecureArchive("encr_huffman", key=key)
+        blob = arch.pack(fields, error_bounds=1e-3)
+        wind = arch.unpack_field(blob, "wind")
+        assert wind.shape == fields["wind"].shape
+
+    def test_index_plaintext(self, fields, key):
+        arch = SecureArchive("cmpr_encr", key=key)
+        blob = arch.pack(fields, error_bounds=1e-3)
+        # The index must be readable without any key.
+        index = SecureArchive.index(blob)
+        assert set(index) == set(fields)
+
+    def test_missing_field(self, fields, key):
+        arch = SecureArchive("encr_huffman", key=key)
+        blob = arch.pack(fields, error_bounds=1e-3)
+        with pytest.raises(ValueError, match="no field"):
+            arch.unpack_field(blob, "pressure")
+
+    def test_missing_bound_rejected(self, fields, key):
+        arch = SecureArchive("encr_huffman", key=key)
+        with pytest.raises(ValueError, match="missing error bounds"):
+            arch.pack(fields, error_bounds={"cloud": 1e-3})
+
+    def test_empty_rejected(self, key):
+        with pytest.raises(ValueError, match="at least one"):
+            SecureArchive("none").pack({})
+
+    def test_corrupt_archive(self, fields, key):
+        arch = SecureArchive("encr_huffman", key=key)
+        blob = arch.pack(fields, error_bounds=1e-3)
+        with pytest.raises(ValueError, match="magic"):
+            SecureArchive.index(b"XXXX" + blob[4:])
+        with pytest.raises(ValueError):
+            SecureArchive.index(blob[:-5])
+        with pytest.raises(ValueError):
+            SecureArchive.index(blob + b"x")
+
+    def test_wrong_key(self, fields, key):
+        writer = SecureArchive("encr_huffman", key=key)
+        blob = writer.pack(fields, error_bounds=1e-3)
+        reader = SecureArchive("encr_huffman", key=bytes(16))
+        with pytest.raises(ValueError):
+            out = reader.unpack_field(blob, "temp")
+            if np.allclose(out, fields["temp"], atol=1e-3):
+                raise AssertionError("wrong key decoded a field")
+
+    def test_authenticated_archive(self, fields, key):
+        arch = SecureArchive("encr_huffman", key=key, authenticate=True)
+        blob = arch.pack(fields, error_bounds=1e-3)
+        assert arch.unpack_field(blob, "cloud").shape == fields["cloud"].shape
+        # Flip a bit inside the first container.
+        index = SecureArchive.index(blob)
+        offset, _ = index["cloud"]
+        tampered = bytearray(blob)
+        tampered[offset + 50] ^= 1
+        with pytest.raises(ValueError):
+            arch.unpack_field(bytes(tampered), "cloud")

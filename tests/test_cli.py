@@ -1,0 +1,163 @@
+"""The ``secz`` command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro import cli
+from repro.datasets import generate, save_field
+
+
+@pytest.fixture()
+def q2_bin(tmp_path):
+    path = tmp_path / "q2.bin"
+    save_field(path, generate("q2", size="tiny"))
+    return str(path)
+
+
+class TestCompressDecompress:
+    def test_roundtrip_bin(self, q2_bin, tmp_path, capsys):
+        out = str(tmp_path / "q2.secz")
+        restored = str(tmp_path / "q2.npy")
+        assert cli.main([
+            "compress", q2_bin, out, "--shape", "11,56,56",
+            "--eb", "1e-4", "--passphrase", "pw",
+        ]) == 0
+        assert cli.main([
+            "decompress", out, restored, "--passphrase", "pw",
+        ]) == 0
+        data = generate("q2", size="tiny")
+        back = np.load(restored)
+        assert np.max(np.abs(back.astype(np.float64) - data)) <= 1e-4
+        assert "CR" in capsys.readouterr().out
+
+    def test_roundtrip_npy(self, tmp_path):
+        data = np.linspace(0, 1, 512, dtype=np.float32).reshape(8, 8, 8)
+        src = tmp_path / "in.npy"
+        np.save(src, data)
+        out = str(tmp_path / "x.secz")
+        back = str(tmp_path / "back.npy")
+        key = "00112233445566778899aabbccddeeff"
+        assert cli.main(["compress", str(src), out, "--key-hex", key]) == 0
+        assert cli.main(["decompress", out, back, "--key-hex", key]) == 0
+        assert np.max(np.abs(np.load(back) - data)) <= 1e-3
+
+    def test_scheme_none_needs_no_key(self, q2_bin, tmp_path):
+        out = str(tmp_path / "q2.secz")
+        assert cli.main([
+            "compress", q2_bin, out, "--shape", "11,56,56",
+            "--scheme", "none",
+        ]) == 0
+        assert cli.main(["decompress", out, str(tmp_path / "o.npy")]) == 0
+
+    def test_missing_shape_for_bin(self, q2_bin, tmp_path):
+        with pytest.raises(SystemExit):
+            cli.main(["compress", q2_bin, str(tmp_path / "x"),
+                      "--passphrase", "pw"])
+
+    def test_bad_key_hex(self, q2_bin, tmp_path):
+        with pytest.raises(SystemExit):
+            cli.main(["compress", q2_bin, str(tmp_path / "x"),
+                      "--shape", "11,56,56", "--key-hex", "abcd"])
+
+
+class TestInspect:
+    def test_inspect_output(self, q2_bin, tmp_path, capsys):
+        out = str(tmp_path / "q2.secz")
+        cli.main(["compress", q2_bin, out, "--shape", "11,56,56",
+                  "--passphrase", "pw"])
+        capsys.readouterr()
+        assert cli.main(["inspect", out]) == 0
+        text = capsys.readouterr().out
+        assert "scheme:      encr_huffman" in text
+        assert "cipher mode: cbc" in text
+
+
+class TestNistCommand:
+    def test_random_file_passes(self, tmp_path, capsys):
+        path = tmp_path / "rand.bin"
+        path.write_bytes(
+            np.random.default_rng(42).integers(
+                0, 256, 150_000, dtype=np.uint8
+            ).tobytes()
+        )
+        rc = cli.main(["nist", str(path), "--streams", "2"])
+        assert rc == 0
+        assert "frequency" in capsys.readouterr().out
+
+    def test_structured_file_fails(self, tmp_path, capsys):
+        path = tmp_path / "zeros.bin"
+        path.write_bytes(bytes(100_000))
+        assert cli.main(["nist", str(path), "--streams", "2"]) == 1
+
+
+class TestDatasets:
+    def test_listing(self, capsys):
+        assert cli.main(["datasets", "--size", "tiny"]) == 0
+        out = capsys.readouterr().out
+        for name in ("cloudf48", "nyx", "qi"):
+            assert name in out
+
+    def test_write(self, tmp_path, capsys):
+        assert cli.main(["datasets", "--size", "tiny",
+                         "--write", str(tmp_path)]) == 0
+        assert (tmp_path / "nyx.bin").exists()
+
+
+class TestParser:
+    def test_shape_parsing(self):
+        assert cli._parse_shape("2,3,4") == (2, 3, 4)
+        with pytest.raises(Exception):
+            cli._parse_shape("2,x")
+        with pytest.raises(Exception):
+            cli._parse_shape("0,1")
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            cli.main([])
+
+
+class TestAdvise:
+    def test_advise_output(self, q2_bin, capsys):
+        assert cli.main(["advise", q2_bin, "--shape", "11,56,56",
+                         "--eb", "1e-4"]) == 0
+        out = capsys.readouterr().out
+        assert "recommended scheme:" in out
+        assert "predictable fraction" in out
+
+    def test_advise_randomness_forces_cmpr_encr(self, q2_bin, capsys):
+        assert cli.main(["advise", q2_bin, "--shape", "11,56,56",
+                         "--randomness"]) == 0
+        assert "cmpr_encr" in capsys.readouterr().out
+
+
+class TestImageCommands:
+    def test_image_roundtrip(self, tmp_path, capsys):
+        from repro.imagecodec import ImageCodec, synthetic_image
+
+        img = synthetic_image("scene", 64)
+        src = tmp_path / "img.npy"
+        np.save(src, img)
+        out = str(tmp_path / "img.secz")
+        back = str(tmp_path / "back.npy")
+        assert cli.main(["img-compress", str(src), out,
+                         "--quality", "80", "--passphrase", "pw"]) == 0
+        assert cli.main(["img-decompress", out, back,
+                         "--quality", "80", "--passphrase", "pw"]) == 0
+        restored = np.load(back)
+        codec = ImageCodec(80)
+        sections, _ = codec.encode(img)
+        assert np.array_equal(restored, codec.decode(sections))
+
+
+class TestInspectAuthenticated:
+    def test_inspect_shows_tag(self, tmp_path, capsys):
+        from repro.core.pipeline import SecureCompressor
+
+        data = np.linspace(0, 1, 512, dtype=np.float32)
+        sc = SecureCompressor("encr_huffman", 1e-3, key=bytes(16),
+                              authenticate=True)
+        path = tmp_path / "a.secz"
+        path.write_bytes(sc.compress(data).container)
+        assert cli.main(["inspect", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "authenticated: yes" in out

@@ -1,0 +1,36 @@
+"""Run the library's docstring examples so the docs cannot rot."""
+
+import doctest
+
+import pytest
+
+import repro
+import repro.archive
+import repro.core.pipeline
+import repro.crypto.aes
+import repro.imagecodec.codec
+import repro.imagecodec.pipeline
+import repro.multilevel.codec
+import repro.multilevel.pipeline
+import repro.parallel
+import repro.sz.compressor
+
+MODULES = [
+    repro,
+    repro.archive,
+    repro.core.pipeline,
+    repro.crypto.aes,
+    repro.imagecodec.codec,
+    repro.imagecodec.pipeline,
+    repro.multilevel.codec,
+    repro.multilevel.pipeline,
+    repro.parallel,
+    repro.sz.compressor,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{module.__name__}: {results.failed} doctest failures"
+    assert results.attempted > 0, f"{module.__name__} has no doctest examples"

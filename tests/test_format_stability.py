@@ -1,0 +1,78 @@
+"""Golden-digest tests pinning the wire formats.
+
+A SECZ container written today must stay readable forever, so the byte
+formats (frame sections, container framing, each scheme's transform)
+are locked by SHA-256 digests of a fixed, fully-seeded compression.
+If one of these fails, a format-affecting change happened: either fix
+the regression, or — for a deliberate format evolution — bump the
+relevant version constant, keep a decode path for the old version, and
+re-record the digest.
+"""
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import SecureCompressor
+from repro.datasets import generate
+from repro.sz import SZCompressor
+
+KEY = bytes(range(16))
+
+#: Recorded against format versions: container v1, SZ frame v2.
+GOLDEN = {
+    "none": "bd6b51ff3a50dd6fdf9664c252ca291f234f194c37bd2fd2d880738f077467e2",
+    "cmpr_encr": "054290084c52f673d53af5bf6a42567eca4b2cc7958496b894929babc1f4d15c",
+    "encr_quant": "c9a0795340295e51d32318917ba5d28edead553ab27df4e882b655b50c57b70a",
+    "encr_huffman": "9dfe55f61fac06c4b3a98895d0b5b8a06dc7adc0bc5dbcfff0f4697087068cec",
+    "section:meta": "d9e5455248ea886e83f3905ff6df41a1ed7d4229560f03a3d88feeb7a6f6765a",
+    "section:tree": "bf2b2cd9704e1ad88546bbe244680c8f61ae09811b37718d0db324496c1bb2b5",
+    "section:codes": "6fad7bfe1771cda737f157da1f566e0764784de818fc57d01a79af76b822ab66",
+    "section:unpred": "e90696b255cccdfbaf8df2c8f1b983c8b1eab7871581ba2fa3587a0785cd1993",
+    "section:coeffs": "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855",
+    "section:exact": "956ce4df0f4b576a2dee1a94dbac6a1097e4a06227e77f43d63b250ed90e60a3",
+    "section:aux": "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855",
+}
+
+
+@pytest.fixture(scope="module")
+def reference_data():
+    return np.asarray(generate("q2", size="tiny"))
+
+
+@pytest.mark.parametrize("scheme", ["none", "cmpr_encr", "encr_quant",
+                                    "encr_huffman"])
+def test_container_digest_stable(scheme, reference_data):
+    sc = SecureCompressor(
+        scheme, 1e-4, key=KEY, random_state=np.random.default_rng(42)
+    )
+    blob = sc.compress(reference_data).container
+    assert hashlib.sha256(blob).hexdigest() == GOLDEN[scheme], (
+        f"{scheme} container bytes changed — wire-format regression, or a "
+        "deliberate format change that needs a version bump (see module "
+        "docstring)"
+    )
+
+
+def test_frame_section_digests_stable(reference_data):
+    frame = SZCompressor(1e-4).compress(reference_data)
+    for name, section in frame.sections.items():
+        digest = hashlib.sha256(section).hexdigest()
+        assert digest == GOLDEN[f"section:{name}"], (
+            f"frame section {name!r} bytes changed — see module docstring"
+        )
+
+
+def test_old_golden_container_still_decodes(reference_data):
+    # Byte-stability implies decodability, but check the semantic
+    # contract end-to-end anyway.
+    sc = SecureCompressor(
+        "encr_huffman", 1e-4, key=KEY,
+        random_state=np.random.default_rng(42),
+    )
+    blob = sc.compress(reference_data).container
+    out = sc.decompress(blob)
+    err = np.max(np.abs(out.astype(np.float64)
+                        - reference_data.astype(np.float64)))
+    assert err <= 1e-4

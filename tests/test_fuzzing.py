@@ -1,0 +1,121 @@
+"""Adversarial-input fuzzing: attacker-controlled bytes must produce
+clean ``ValueError`` family exceptions — never crashes, hangs, or
+foreign exception types.
+
+This matters beyond hygiene: the threat model (paper Sec. III) has the
+decompressor consuming data an attacker may have perturbed, and the
+bit-flip study classifies "decode_error" outcomes — which is only a
+safe outcome if *every* malformed input is caught deliberately.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.integrity import AuthenticationError
+from repro.core.pipeline import SecureCompressor
+from repro.imagecodec import ImageCodec
+from repro.security.attacks import flip_bit
+from repro.sz import SZCompressor, huffman
+from repro.sz.bitstream import PackedBits
+from repro.sz.compressor import SECTION_ORDER, SZFrame
+
+KEY = bytes(range(16))
+
+ACCEPTED = (ValueError, AuthenticationError)  # AuthenticationError: subclass
+
+
+@given(blob=st.binary(max_size=400))
+@settings(max_examples=150, deadline=None)
+def test_decompress_garbage(blob):
+    sc = SecureCompressor("encr_huffman", 1e-3, key=KEY)
+    try:
+        sc.decompress(blob)
+    except ACCEPTED:
+        pass
+
+
+@given(seed=st.integers(0, 2**32 - 1), n_flips=st.integers(1, 6))
+@settings(max_examples=40, deadline=None)
+def test_decompress_multiflip_containers(seed, n_flips):
+    """Multi-bit corruptions of genuine containers either decode to
+    *some* array or raise cleanly."""
+    rng = np.random.default_rng(seed)
+    data = rng.random((6, 8, 8)).astype(np.float32)
+    sc = SecureCompressor("none", 1e-3)
+    blob = sc.compress(data).container
+    for bit in rng.choice(8 * len(blob), size=n_flips, replace=False):
+        blob = flip_bit(blob, int(bit))
+    try:
+        out = sc.decompress(blob)
+        assert isinstance(out, np.ndarray)
+    except ACCEPTED:
+        pass
+    except OverflowError:
+        # A corrupt meta can claim absurd dims; numpy raises while
+        # allocating — also a clean rejection.
+        pass
+
+
+@given(tree=st.binary(max_size=200))
+@settings(max_examples=100, deadline=None)
+def test_huffman_tree_garbage(tree):
+    try:
+        huffman.deserialize_tree(tree)
+    except ValueError:
+        pass
+
+
+@given(payload=st.binary(min_size=1, max_size=200),
+       n_values=st.integers(1, 64))
+@settings(max_examples=100, deadline=None)
+def test_huffman_decode_garbage_bits(payload, n_values):
+    """Random bits through a real code: decode or ValueError, never a
+    hang or index error."""
+    values = np.arange(16, dtype=np.int64).repeat(4)
+    code = huffman.build_code(*np.unique(values, return_counts=True))
+    packed = PackedBits(data=payload, n_bits=8 * len(payload))
+    try:
+        out = huffman.decode(packed, code, n_values)
+        assert out.size == n_values
+    except ValueError:
+        pass
+
+
+@given(section=st.sampled_from(SECTION_ORDER),
+       blob=st.binary(max_size=120),
+       seed=st.integers(0, 2**31 - 1))
+@settings(max_examples=80, deadline=None)
+def test_frame_section_substitution(section, blob, seed):
+    """Swapping any single frame section for arbitrary bytes must not
+    escape the ValueError contract."""
+    rng = np.random.default_rng(seed)
+    data = rng.random((5, 9)).astype(np.float32)
+    comp = SZCompressor(1e-3)
+    frame = comp.compress(data)
+    sections = dict(frame.sections)
+    sections[section] = blob
+    try:
+        out = comp.decompress(SZFrame(sections=sections, stats=frame.stats))
+        assert isinstance(out, np.ndarray)
+    except ACCEPTED:
+        pass
+    except OverflowError:
+        pass
+
+
+@given(blob=st.binary(max_size=300))
+@settings(max_examples=80, deadline=None)
+def test_image_meta_garbage(blob):
+    try:
+        ImageCodec.parse_meta(blob)
+    except ValueError:
+        pass
+
+
+def test_authenticated_garbage_rejected_fast():
+    sc = SecureCompressor("encr_huffman", 1e-3, key=KEY, authenticate=True)
+    for blob in (b"", b"SECA", b"SECA" + bytes(31), b"SECA" + bytes(64)):
+        with pytest.raises(ACCEPTED):
+            sc.decompress(blob)
