@@ -1,0 +1,110 @@
+"""Quick-bench: Huffman decode throughput per lane count.
+
+Standalone (no pytest plugins): times the legacy single-stream scalar
+decoder against the vectorized multi-lane kernel on a >= 4 MB float32
+field and writes ``BENCH_huffman.json`` at the repo root.  CI runs this
+as a smoke check; the acceptance bar for the lane work is a >= 5x
+decode speedup at K = 16 over the single-stream decoder.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_huffman_lanes.py
+
+Environment knobs: ``REPRO_BENCH_REPEATS`` (default 3, best-of) and
+``REPRO_BENCH_DATASET`` (default ``nyx``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+
+from repro.datasets import generate
+from repro.sz import fastdecode, huffman
+from repro.sz.bitstream import concat_streams
+from repro.sz.compressor import SZCompressor
+
+LANE_COUNTS = (1, 4, 16)
+REPEATS = int(os.environ.get("REPRO_BENCH_REPEATS", "3"))
+DATASET = os.environ.get("REPRO_BENCH_DATASET", "nyx")
+OUT_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_huffman.json")
+
+
+def _best_seconds(fn, repeats: int = REPEATS) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def main() -> dict:
+    # 128^3 float32 = 8 MB: comfortably past the 4 MB acceptance floor.
+    field = np.asarray(generate(DATASET, dims=(128, 128, 128)), dtype=np.float32)
+    field_mb = field.nbytes / 1e6
+    assert field.nbytes >= 4 * 1024 * 1024, "bench field must be >= 4 MB"
+
+    # Recover the real quantization-code stream the decoder faces.
+    comp = SZCompressor(1e-4)
+    frame = comp.compress(field)
+    info = comp.parse_meta(frame.sections["meta"])
+    n = int(np.prod(info["shape"]))
+    if info["version"] >= 3:
+        code, table = huffman.deserialize_lane_tree(frame.sections["tree"], n)
+        flat_codes = fastdecode.decode_lanes(
+            frame.sections["codes"], code, table, n
+        )
+    else:
+        code = huffman.deserialize_tree(frame.sections["tree"])
+        flat_codes = huffman.decode(
+            huffman.PackedBits(frame.sections["codes"], info["n_bits"]), code, n
+        )
+
+    result: dict = {
+        "dataset": DATASET,
+        "field_mb": round(field_mb, 3),
+        "n_symbols": n,
+        "repeats": REPEATS,
+        "decode_mb_per_s": {},
+        "decode_msym_per_s": {},
+    }
+
+    # Baseline: the seed's single-stream scalar decoder (unchanged code
+    # path, used today for v2 frames).
+    packed = huffman.encode(flat_codes, code)
+    secs = _best_seconds(lambda: huffman.decode(packed, code, n))
+    assert np.array_equal(huffman.decode(packed, code, n), flat_codes)
+    result["decode_mb_per_s"]["single_stream"] = round(field_mb / secs, 2)
+    result["decode_msym_per_s"]["single_stream"] = round(n / secs / 1e6, 2)
+
+    for k in LANE_COUNTS:
+        _, stride = huffman.choose_lane_params(n, packed.n_bits)
+        enc = huffman.encode_lanes(flat_codes, code, k, stride)
+        codes_bytes = concat_streams(list(enc.lanes))
+        table = enc.table
+        out = fastdecode.decode_lanes(codes_bytes, code, table, n)
+        assert np.array_equal(out, flat_codes)
+        secs = _best_seconds(
+            lambda: fastdecode.decode_lanes(codes_bytes, code, table, n)
+        )
+        result["decode_mb_per_s"][f"lanes_{k}"] = round(field_mb / secs, 2)
+        result["decode_msym_per_s"][f"lanes_{k}"] = round(n / secs / 1e6, 2)
+
+    result["speedup_k16_vs_single"] = round(
+        result["decode_mb_per_s"]["lanes_16"]
+        / result["decode_mb_per_s"]["single_stream"],
+        2,
+    )
+    with open(os.path.abspath(OUT_PATH), "w") as fh:
+        json.dump(result, fh, indent=2)
+        fh.write("\n")
+    print(json.dumps(result, indent=2))
+    return result
+
+
+if __name__ == "__main__":
+    main()

@@ -12,9 +12,10 @@ import os
 
 import numpy as np
 
-from repro.sz.compressor import SZCompressor
-from repro.sz.huffman import decode, deserialize_tree
+from repro.sz import huffman
 from repro.sz.bitstream import PackedBits
+from repro.sz.compressor import SZCompressor
+from repro.sz.fastdecode import decode_lanes
 
 __all__ = ["predictability_mask", "write_pgm", "mask_summary"]
 
@@ -29,9 +30,14 @@ def predictability_mask(data: np.ndarray, eb: float, **kwargs) -> np.ndarray:
     comp = SZCompressor(eb, **kwargs)
     frame = comp.compress(data)
     info = comp.parse_meta(frame.sections["meta"])
-    code = deserialize_tree(frame.sections["tree"])
-    packed = PackedBits(data=frame.sections["codes"], n_bits=info["n_bits"])
-    codes = decode(packed, code, int(np.prod(info["shape"])))
+    n = int(np.prod(info["shape"]))
+    if info["version"] >= 3:
+        code, table = huffman.deserialize_lane_tree(frame.sections["tree"], n)
+        codes = decode_lanes(frame.sections["codes"], code, table, n)
+    else:
+        code = huffman.deserialize_tree(frame.sections["tree"])
+        packed = PackedBits(data=frame.sections["codes"], n_bits=info["n_bits"])
+        codes = huffman.decode(packed, code, n)
     return (codes != 0).reshape(info["shape"])
 
 

@@ -32,7 +32,12 @@ __all__ = [
 ]
 
 MAGIC = b"SECZ"
-VERSION = 1
+#: Current write version.  v2 signals that the inner SZ frame may use
+#: the multi-lane Huffman format (frame meta v3); the container layout
+#: itself is unchanged, and v1 containers parse identically.
+VERSION = 2
+#: Versions :func:`parse_container` accepts (read-back compatibility).
+SUPPORTED_VERSIONS = (1, 2)
 
 #: Wire ids for every section name that can appear at any level.
 SECTION_IDS: dict[str, int] = {
@@ -135,7 +140,7 @@ def parse_container(blob: bytes) -> Container:
     )
     if magic != MAGIC:
         raise ValueError("bad magic; not a SECZ container")
-    if version != VERSION:
+    if version not in SUPPORTED_VERSIONS:
         raise ValueError(f"unsupported container version {version}")
     if mode_id not in _MODE_TO_NAME:
         raise ValueError(f"unknown cipher mode id {mode_id}")

@@ -151,6 +151,11 @@ class EncrQuant(Scheme):
     compression."  The AES-randomized bytes then flow *into* zlib,
     which is exactly why this scheme can collapse the compression
     ratio of highly-compressible datasets (paper Fig. 5).
+
+    For multi-lane (frame v3) streams the ``tree`` section also
+    carries the lane/anchor table, so the decode entry points are
+    encrypted together with the tree and codewords — an attacker
+    cannot even segment the ciphertext into lanes.
     """
 
     name = "encr_quant"
@@ -193,6 +198,12 @@ class EncrHuffman(Scheme):
     (refs [56], [57]), so this keys the whole quantization array while
     encrypting at most a few percent of it (paper Fig. 4) — the
     light-weight scheme the paper recommends.
+
+    For multi-lane (frame v3) streams the ``tree`` section is the
+    lane/anchor table *followed by* the serialized code table
+    (:func:`repro.sz.huffman.serialize_lane_tree`), so encrypting the
+    section keeps both secret: the security argument is unchanged, and
+    the lane boundaries/anchors leak nothing in the clear.
     """
 
     name = "encr_huffman"

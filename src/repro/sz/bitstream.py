@@ -13,7 +13,14 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["PackedBits", "pack_codes", "unpack_bits"]
+__all__ = [
+    "PackedBits",
+    "pack_codes",
+    "unpack_bits",
+    "concat_streams",
+    "lane_byte_lengths",
+    "sliding_window_u32",
+]
 
 
 @dataclass(frozen=True)
@@ -82,3 +89,46 @@ def unpack_bits(packed: PackedBits) -> np.ndarray:
         return np.empty(0, dtype=np.uint8)
     bits = np.unpackbits(np.frombuffer(packed.data, dtype=np.uint8))
     return bits[: packed.n_bits]
+
+
+def lane_byte_lengths(lane_bits: np.ndarray) -> np.ndarray:
+    """Byte length of each lane stream (every lane is byte-padded)."""
+    bits = np.asarray(lane_bits, dtype=np.int64)
+    if bits.size and int(bits.min()) < 0:
+        raise ValueError("lane bit lengths must be non-negative")
+    return (bits + 7) >> 3
+
+
+def concat_streams(lanes: list[PackedBits]) -> bytes:
+    """Concatenate byte-padded lane streams into one ``codes`` section.
+
+    Each :class:`PackedBits` is already padded to a whole byte, so lane
+    boundaries stay byte-aligned and a decoder can locate lane ``i`` at
+    ``sum(lane_byte_lengths(bits[:i]))`` without a stored offset.
+    """
+    return b"".join(lane.data for lane in lanes)
+
+
+def sliding_window_u32(data: bytes, pad_bytes: int = 0) -> np.ndarray:
+    """Big-endian 32-bit window at every byte offset of ``data``.
+
+    ``out[i]`` holds bytes ``i..i+3`` MSB-first (missing bytes read as
+    zero), so the ``w`` bits starting at absolute bit position ``p``
+    are ``(out[p >> 3] >> (32 - w - (p & 7))) & ((1 << w) - 1)`` for
+    any ``w + (p & 7) <= 32`` — one gather per decoded window, which is
+    what makes the lane decode kernel a pure NumPy loop.
+
+    ``pad_bytes`` extends the matrix with that many zero-filled windows
+    past the end of ``data`` so callers whose cursors may legitimately
+    be probed out of range (e.g. bounds-checked-after-the-fact decode
+    loops) never index outside the buffer.
+    """
+    raw = np.frombuffer(data, dtype=np.uint8)
+    padded = np.zeros(raw.size + pad_bytes + 3, dtype=np.uint32)
+    padded[: raw.size] = raw
+    return (
+        (padded[:-3] << np.uint32(24))
+        | (padded[1:-2] << np.uint32(16))
+        | (padded[2:-1] << np.uint32(8))
+        | padded[3:]
+    )

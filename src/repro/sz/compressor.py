@@ -6,8 +6,9 @@ sections are exactly the units the paper's three schemes transform:
 
 ========== =====================================================
 ``meta``   decode parameters (dims, dtype, bound, predictor, ...)
-``tree``   serialized Huffman tree        — Encr-Huffman's target
-``codes``  Huffman codeword bitstream     ┐ with ``tree``:
+``tree``   lane/anchor table + serialized Huffman tree
+           — Encr-Huffman's target (tree *and* lane table)
+``codes``  Huffman lane bitstreams        ┐ with ``tree``:
 ``unpred`` unpredictable residual channel │ the "quantization
 ``coeffs`` regression coefficients        ┘ array" of Encr-Quant
 ``exact``  verbatim floats for sub-ulp-bound points
@@ -31,8 +32,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.sz import huffman, ieee754, intcodec, predictors, quantizer
-from repro.sz.bitstream import PackedBits
+from repro.sz import fastdecode, huffman, ieee754, intcodec, predictors, quantizer
+from repro.sz.bitstream import PackedBits, concat_streams
 from repro.sz.quantizer import ErrorBound
 
 __all__ = ["SZCompressor", "SZFrame", "CompressionStats", "SECTION_ORDER"]
@@ -49,7 +50,14 @@ _DTYPE_FROM_CODE = {v: k for k, v in _DTYPE_CODES.items()}
 # stage ran on log2|x| and the aux section carries signs/zeros).
 _META = struct.Struct("<4sBBBBBBIdqQQ")
 _META_MAGIC = b"SZfr"
-_META_VERSION = 2
+#: v3 frames carry a multi-lane Huffman stream: the ``tree`` section is
+#: a lane/anchor table followed by the serialized code table, and the
+#: ``codes`` section concatenates byte-aligned lane bitstreams.  The
+#: meta struct layout itself is unchanged since v2 (``n_codes_bits``
+#: holds the total over all lanes), so old readers fail cleanly on the
+#: version byte and new readers decode both.
+_META_VERSION = 3
+_META_MIN_VERSION = 2
 
 
 @dataclass
@@ -125,6 +133,20 @@ class SZCompressor:
     coverage:
         Target fraction of residuals the adaptive quantization radius
         must cover; the remainder becomes unpredictable data.
+    huffman_lanes:
+        Lane count for the interleaved Huffman stream.  ``"auto"``
+        scales with the *coded* size (1 lane per ~32 KB of codes, up
+        to 16) and falls back to the legacy v2 single-stream frame —
+        zero format overhead — when the whole coded payload is under
+        32 KB.  More lanes mean more independent entry points for the
+        vectorized decode kernel at the cost of a few padding bytes
+        per lane.  Setting an explicit count always writes the v3
+        multi-lane frame.
+    anchor_stride:
+        Codewords per decode segment (``"auto"`` places an anchor per
+        ~512 coded bytes, keeping the table at ~0.3 % of the codes
+        section).  Smaller strides widen the decode kernel's vectors
+        but grow the anchor table.
 
     Examples
     --------
@@ -144,6 +166,8 @@ class SZCompressor:
         predictor: str = "auto",
         block_size: int = 8,
         coverage: float = 0.995,
+        huffman_lanes: int | str = "auto",
+        anchor_stride: int | str = "auto",
     ) -> None:
         if isinstance(error_bound, (int, float)):
             error_bound = ErrorBound(value=float(error_bound), mode="abs")
@@ -155,6 +179,19 @@ class SZCompressor:
             raise ValueError("block_size must be at least 2")
         self.block_size = block_size
         self.coverage = coverage
+        if huffman_lanes != "auto" and not 1 <= int(huffman_lanes) <= huffman.MAX_LANES:
+            raise ValueError(f"huffman_lanes must be 'auto' or 1..{huffman.MAX_LANES}")
+        self.huffman_lanes = huffman_lanes
+        if anchor_stride != "auto" and int(anchor_stride) < 1:
+            raise ValueError("anchor_stride must be 'auto' or positive")
+        self.anchor_stride = anchor_stride
+
+    def _lane_params(self, n_values: int, total_bits: int) -> tuple[int, int]:
+        """Resolve the (possibly ``"auto"``) lane count and stride."""
+        auto_lanes, auto_stride = huffman.choose_lane_params(n_values, total_bits)
+        lanes = auto_lanes if self.huffman_lanes == "auto" else int(self.huffman_lanes)
+        stride = auto_stride if self.anchor_stride == "auto" else int(self.anchor_stride)
+        return max(1, min(lanes, n_values)), stride
 
     # ------------------------------------------------------------------
     # Compression
@@ -197,8 +234,25 @@ class SZCompressor:
         stage_seconds["huffman_build"] = time.perf_counter() - t0
 
         t0 = time.perf_counter()
-        packed = huffman.encode(flat_codes, code)
-        tree_bytes = huffman.serialize_tree(code)
+        total_bits = int((counts * code.lengths.astype(np.int64)).sum())
+        auto_format = self.huffman_lanes == "auto" and self.anchor_stride == "auto"
+        if auto_format and total_bits < huffman.LANE_FORMAT_MIN_BITS:
+            # Small coded payload: the lane/anchor table would be a
+            # visible overhead and the kernel gains nothing, so emit
+            # the legacy v2 single-stream frame (byte-identical to the
+            # pre-lane format, and still decoded by every reader).
+            packed = huffman.encode(flat_codes, code)
+            tree_bytes = huffman.serialize_tree(code)
+            codes_bytes = packed.data
+            n_code_bits = packed.n_bits
+            frame_version = 2
+        else:
+            n_lanes, stride = self._lane_params(flat_codes.size, total_bits)
+            enc = huffman.encode_lanes(flat_codes, code, n_lanes, stride)
+            tree_bytes = huffman.serialize_lane_tree(code, enc.table)
+            codes_bytes = concat_streams(list(enc.lanes))
+            n_code_bits = enc.n_bits
+            frame_version = 3
         stage_seconds["huffman_encode"] = time.perf_counter() - t0
 
         t0 = time.perf_counter()
@@ -221,13 +275,13 @@ class SZCompressor:
         stage_seconds["side_channels"] = time.perf_counter() - t0
 
         meta = self._pack_meta(
-            data, out_dtype, eb, predictor_name, radius, modal, packed,
-            int(unpred_mask.sum()),
+            data, out_dtype, eb, predictor_name, radius, modal, n_code_bits,
+            int(unpred_mask.sum()), frame_version,
         )
         sections = {
             "meta": meta,
             "tree": tree_bytes,
-            "codes": packed.data,
+            "codes": codes_bytes,
             "unpred": unpred_bytes,
             "coeffs": coeff_bytes,
             "exact": exact_bytes,
@@ -277,12 +331,13 @@ class SZCompressor:
         predictor_name: str,
         radius: int,
         modal: int,
-        packed: PackedBits,
+        n_code_bits: int,
         n_unpred: int,
+        version: int = _META_VERSION,
     ) -> bytes:
         head = _META.pack(
             _META_MAGIC,
-            _META_VERSION,
+            version,
             _DTYPE_CODES[out_dtype],
             predictors.PREDICTORS.index(predictor_name),
             1 if self.error_bound.mode == "pw_rel" else 0,
@@ -291,7 +346,7 @@ class SZCompressor:
             radius,
             eb,
             modal,
-            packed.n_bits,
+            n_code_bits,
             n_unpred,
         )
         dims = struct.pack(f"<{data.ndim}Q", *data.shape)
@@ -322,7 +377,7 @@ class SZCompressor:
         ) = _META.unpack_from(meta)
         if magic != _META_MAGIC:
             raise ValueError("bad frame magic; not an SZ frame")
-        if version != _META_VERSION:
+        if not _META_MIN_VERSION <= version <= _META_VERSION:
             raise ValueError(f"unsupported frame version {version}")
         if dtype_code not in _DTYPE_FROM_CODE:
             raise ValueError(f"unknown dtype code {dtype_code}")
@@ -335,6 +390,7 @@ class SZCompressor:
             raise ValueError(f"unknown bound mode {bound_mode}")
         shape = struct.unpack_from(f"<{ndim}Q", meta, _META.size)
         return {
+            "version": version,
             "dtype": _DTYPE_FROM_CODE[dtype_code],
             "pw_rel": bound_mode == 1,
             "predictor": predictors.PREDICTORS[predictor_id],
@@ -361,9 +417,22 @@ class SZCompressor:
         n_elements = int(np.prod(shape))
 
         t0 = time.perf_counter()
-        code = huffman.deserialize_tree(frame.sections["tree"])
-        packed = PackedBits(data=frame.sections["codes"], n_bits=info["n_bits"])
-        flat_codes = huffman.decode(packed, code, n_elements)
+        if info["version"] >= 3:
+            code, lane_table = huffman.deserialize_lane_tree(
+                frame.sections["tree"], n_elements
+            )
+            if int(lane_table.lane_bits.sum()) != info["n_bits"]:
+                raise ValueError("lane table bit count does not match meta")
+            flat_codes = fastdecode.decode_lanes(
+                frame.sections["codes"], code, lane_table, n_elements
+            )
+        else:
+            # v2: single-stream codes + bare tree (legacy scalar decode).
+            code = huffman.deserialize_tree(frame.sections["tree"])
+            packed = PackedBits(
+                data=frame.sections["codes"], n_bits=info["n_bits"]
+            )
+            flat_codes = huffman.decode(packed, code, n_elements)
         times["huffman_decode"] = times.get("huffman_decode", 0.0) + (
             time.perf_counter() - t0
         )

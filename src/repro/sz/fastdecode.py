@@ -1,0 +1,189 @@
+"""Vectorized multi-lane Huffman decoding (frame format v3).
+
+The v3 ``codes`` section is K independent, byte-aligned bitstreams
+("lanes") under one shared canonical code, plus sub-lane *anchors*
+(bit offsets of every ``anchor_stride``-th codeword boundary) carried
+in the encrypted tree section.  Lanes and anchors together cut the
+stream into many independent *segments*, and this module decodes all
+segments simultaneously with NumPy gathers:
+
+* one u32 gather per segment pulls the next ``TABLE_BITS`` window out
+  of a sliding byte-window matrix (:func:`~repro.sz.bitstream.sliding_window_u32`);
+* one gather each into the flat ``tab_sym`` / ``tab_len`` tables turns
+  every window into a symbol and a bit advance;
+* a scatter writes each segment's symbol into its contiguous slice of
+  the output, and the per-segment bit cursors advance in place.
+
+Codes longer than ``TABLE_BITS`` miss the primary table (length 0) and
+resolve with one ``searchsorted`` into the left-justified canonical
+codeword array over the affected segments only — canonical codewords
+are strictly increasing when left-justified, so the matching codeword
+is the largest one not exceeding the next ``max_len`` window bits.
+
+The loop runs ``anchor_stride`` iterations regardless of input size,
+so throughput scales with the segment count; the encoder targets
+roughly ``sqrt(n)`` segments (see :func:`repro.sz.huffman.choose_lane_params`),
+which keeps each NumPy op wide enough to amortize interpreter
+overhead.  Decoding is exact, not speculative: anchors are true
+codeword boundaries recorded at encode time, and the final cursor of
+every segment is checked against the next segment's start, so any
+corruption that slips a cursor off the codeword lattice is rejected.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sz import huffman
+from repro.sz.bitstream import lane_byte_lengths, sliding_window_u32
+from repro.sz.huffman import HuffmanCode, LaneTable
+
+__all__ = ["decode_lanes"]
+
+
+def _segment_layout(
+    table: LaneTable, n_values: int, n_code_bytes: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Flatten the lane table into per-segment start/end/quota/output
+    arrays (validating byte-offset consistency along the way)."""
+    byte_lens = lane_byte_lengths(table.lane_bits)
+    if int(byte_lens.sum()) != n_code_bytes:
+        raise ValueError(
+            "codes section length does not match the lane table"
+        )
+    byte_off = np.concatenate([[0], np.cumsum(byte_lens)])
+    sizes = huffman.lane_sizes(n_values, table.n_lanes)
+    out_off = np.concatenate([[0], np.cumsum(sizes)])
+    stride = table.anchor_stride
+    starts, ends, quotas, obases = [], [], [], []
+    for l in range(table.n_lanes):
+        abs0 = int(byte_off[l]) * 8
+        a = table.anchors[l]
+        n_seg = a.size + 1
+        seg_start = np.empty(n_seg, dtype=np.int64)
+        seg_start[0] = abs0
+        seg_start[1:] = a + abs0
+        seg_end = np.empty(n_seg, dtype=np.int64)
+        seg_end[:-1] = seg_start[1:]
+        seg_end[-1] = abs0 + int(table.lane_bits[l])
+        quota = np.full(n_seg, stride, dtype=np.int64)
+        quota[-1] = int(sizes[l]) - (n_seg - 1) * stride
+        if quota[-1] < 1 or quota[-1] > stride:
+            raise ValueError("lane anchor count does not match the data")
+        starts.append(seg_start)
+        ends.append(seg_end)
+        quotas.append(quota)
+        obases.append(out_off[l] + np.arange(n_seg, dtype=np.int64) * stride)
+    return (
+        np.concatenate(starts),
+        np.concatenate(ends),
+        np.concatenate(quotas),
+        np.concatenate(obases),
+    )
+
+
+def decode_lanes(
+    codes: bytes, code: HuffmanCode, table: LaneTable, n_values: int
+) -> np.ndarray:
+    """Decode ``n_values`` symbols from a multi-lane ``codes`` section.
+
+    Parameters
+    ----------
+    codes:
+        The concatenated byte-aligned lane streams.
+    code:
+        The shared canonical Huffman code (from the tree section).
+    table:
+        Lane/anchor table (from the same tree section).
+    n_values:
+        Total symbol count across all lanes.
+
+    Raises
+    ------
+    ValueError
+        If the lane table is inconsistent with ``codes``/``n_values``
+        or any segment fails to land exactly on its end boundary
+        (corrupt or truncated bitstream).
+    """
+    if n_values == 0:
+        return np.empty(0, dtype=np.int64)
+    dec = huffman.decoder_for(code)
+    tab_sym, tab_len, lj_codes, lj_syms, lj_lens = dec.kernel_tables()
+    t_bits = dec.t_bits
+    shift_base = 32 - t_bits
+    t_mask = (1 << t_bits) - 1
+    max_len = dec.max_len
+    has_long = max_len > t_bits
+
+    cur, seg_end, quota, obase = _segment_layout(table, n_values, len(codes))
+    # Sort segments by quota descending: the active set at iteration t
+    # is then always a prefix, so the loop works on views, not masks.
+    order = np.argsort(-quota, kind="stable")
+    cur = cur[order].copy()
+    seg_end = seg_end[order]
+    quota = quota[order]
+    obase = obase[order]
+    max_q = int(quota[0])
+    # active[t] = segments still holding symbols at iteration t.
+    ascending = quota[::-1]
+    active = quota.size - np.searchsorted(
+        ascending, np.arange(max_q), side="right"
+    )
+
+    # A corrupt stream can walk a cursor past its segment (we only
+    # validate boundaries after the loop), so pad the window matrix to
+    # cover the worst-case overrun of max_q iterations x max_len bits.
+    win = sliding_window_u32(codes, pad_bytes=3 * max_q + 4)
+    out = np.empty(n_values, dtype=np.int64)
+
+    for t in range(max_q):
+        a = int(active[t])
+        c = cur[:a]
+        bi = c >> 3
+        sh = c & 7
+        w = (win[bi] >> (shift_base - sh)) & t_mask
+        ln = tab_len[w]
+        sym = tab_sym[w]
+        if has_long and not ln.all():
+            _resolve_long(
+                win, bi, sh, ln, sym, max_len, lj_codes, lj_syms, lj_lens
+            )
+        out[obase[:a] + t] = sym
+        c += ln
+    if not np.array_equal(cur, seg_end):
+        raise ValueError(
+            "corrupt huffman lane stream: segment did not end on its "
+            "anchor boundary"
+        )
+    return out
+
+
+def _resolve_long(
+    win: np.ndarray,
+    bi: np.ndarray,
+    sh: np.ndarray,
+    ln: np.ndarray,
+    sym: np.ndarray,
+    max_len: int,
+    lj_codes: np.ndarray,
+    lj_syms: np.ndarray,
+    lj_lens: np.ndarray,
+) -> None:
+    """Resolve primary-table misses (codes longer than ``TABLE_BITS``)
+    for the flagged segments, in place.
+
+    Canonical codewords left-justified to ``max_len`` are strictly
+    increasing, so the codeword at a bit position is the largest
+    left-justified value not exceeding the next ``max_len`` bits —
+    one ``searchsorted`` resolves every miss at once.  A window below
+    the smallest codeword cannot happen on a valid stream and is
+    rejected here; any other corruption advances the cursor off the
+    codeword lattice and trips the segment-boundary check instead.
+    """
+    zi = np.nonzero(ln == 0)[0]
+    wide = (win[bi[zi]] >> (32 - max_len - sh[zi])) & ((1 << max_len) - 1)
+    pos = np.searchsorted(lj_codes, wide, side="right") - 1
+    if (pos < 0).any():
+        raise ValueError("corrupt huffman bitstream: no codeword matches")
+    sym[zi] = lj_syms[pos]
+    ln[zi] = lj_lens[pos]

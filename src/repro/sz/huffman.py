@@ -26,8 +26,11 @@ Implementation notes
 
 from __future__ import annotations
 
+import hashlib
 import heapq
 import struct
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass
 
 import numpy as np
@@ -37,21 +40,35 @@ from repro.sz.bitstream import PackedBits, pack_codes
 
 __all__ = [
     "HuffmanCode",
+    "LaneEncoding",
+    "LaneTable",
     "build_code",
     "encode",
+    "encode_lanes",
     "decode",
     "serialize_tree",
     "deserialize_tree",
+    "serialize_lane_tree",
+    "deserialize_lane_tree",
+    "lane_sizes",
+    "choose_lane_params",
     "MAX_CODE_LEN",
     "TABLE_BITS",
+    "MAX_LANES",
 ]
 
 #: Hard cap on codeword length (keeps tables and bit passes bounded).
 MAX_CODE_LEN = 24
 #: Primary decode-table width in bits.
 TABLE_BITS = 12
+#: Hard cap on the interleaved lane count (wire-format sanity bound).
+MAX_LANES = 4096
 
 _TREE_HEADER = struct.Struct("<IB")  # (n_symbols, max_len)
+
+#: Lane-tree section prefix: magic, n_lanes, anchor_stride, varint length.
+_LANE_HEADER = struct.Struct("<4sHII")
+_LANE_MAGIC = b"HLT1"
 
 
 @dataclass(frozen=True)
@@ -253,6 +270,226 @@ def deserialize_tree(data: bytes) -> HuffmanCode:
     return HuffmanCode(symbols=symbols.copy(), lengths=lengths.copy(), codewords=codewords)
 
 
+# ----------------------------------------------------------------------
+# Multi-lane interleaved streams (frame format v3)
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class LaneTable:
+    """Decode-side description of an N-lane interleaved bitstream.
+
+    ``anchors[l]`` holds the *within-lane* bit offset of every
+    ``anchor_stride``-th codeword boundary (excluding offset 0, which is
+    the lane start).  Anchors are sub-lane entry points: they let the
+    vectorized kernel decode many independent segments at once instead
+    of being limited to ``n_lanes``-wide vectors.  The table travels
+    inside the serialized-tree section, so Encr-Quant / Encr-Huffman
+    encrypt it together with the code table and the security argument
+    (no tree, no decode) is unchanged.
+    """
+
+    n_lanes: int
+    anchor_stride: int
+    lane_bits: np.ndarray
+    anchors: tuple[np.ndarray, ...]
+
+
+@dataclass(frozen=True)
+class LaneEncoding:
+    """Encoder output for one value array: K lane streams + anchors."""
+
+    lanes: tuple[PackedBits, ...]
+    table: LaneTable
+
+    @property
+    def n_bits(self) -> int:
+        return int(self.table.lane_bits.sum())
+
+
+def lane_sizes(n_values: int, n_lanes: int) -> np.ndarray:
+    """Contiguous-split lane lengths (``np.array_split`` rule).
+
+    The first ``n_values % n_lanes`` lanes get one extra element; the
+    rule is part of the wire format (the decoder re-derives it), so it
+    must never change for format v3.
+    """
+    if n_lanes < 1:
+        raise ValueError("n_lanes must be at least 1")
+    base, extra = divmod(n_values, n_lanes)
+    sizes = np.full(n_lanes, base, dtype=np.int64)
+    sizes[:extra] += 1
+    return sizes
+
+
+#: Below this many coded bits (64 KB of codes) the auto encoder writes
+#: the legacy single-stream v2 frame: decode time is trivial at that
+#: size and the lane/anchor table would be a visible CR overhead —
+#: especially on run-dominated streams where the lossless stage crushes
+#: the codes but not the high-entropy anchor varints.
+LANE_FORMAT_MIN_BITS = 1 << 19
+#: Auto anchor density: roughly one anchor per this many coded bits
+#: (512 bytes), keeping the table at ~0.2-0.4 % of the codes section.
+ANCHOR_SPACING_BITS = 1 << 12
+
+
+def choose_lane_params(n_values: int, total_bits: int | None = None) -> tuple[int, int]:
+    """Pick ``(n_lanes, anchor_stride)`` for ``n_values`` symbols whose
+    encoding occupies ``total_bits``.
+
+    Both knobs scale with the *coded* size, not the element count: a
+    lane per ~32 KB of codes (capped at 16) and an anchor per ~512
+    bytes.  Decode-kernel vector width therefore grows with the work
+    available while the table stays a fixed small fraction of the
+    stream.  Below :data:`LANE_FORMAT_MIN_BITS` the returned stride
+    exceeds ``n_values`` (no anchors) and the lane count is 1 — the
+    signal the encoder uses to fall back to the v2 single-stream frame.
+    """
+    if n_values <= 0:
+        return 1, 1024
+    if total_bits is None:
+        total_bits = 4 * n_values  # rough prior: skewed SZ histograms
+    if total_bits < LANE_FORMAT_MIN_BITS:
+        return 1, max(1024, n_values)
+    n_lanes = min(MAX_LANES, 16, max(4, total_bits >> 18), n_values)
+    target = -(-ANCHOR_SPACING_BITS * n_values // total_bits)
+    stride = 1 << max(10, int(target - 1).bit_length())
+    return n_lanes, stride
+
+
+def encode_lanes(
+    values: np.ndarray,
+    code: HuffmanCode,
+    n_lanes: int,
+    anchor_stride: int,
+) -> LaneEncoding:
+    """Huffman-encode ``values`` as ``n_lanes`` independent bitstreams.
+
+    Every lane is a self-contained stream under the shared canonical
+    code, padded to a byte boundary so the concatenated ``codes``
+    section keeps lanes byte-aligned.
+    """
+    values = np.ravel(np.asarray(values, dtype=np.int64))
+    if not 1 <= n_lanes <= MAX_LANES:
+        raise ValueError(f"n_lanes must be in 1..{MAX_LANES}")
+    if values.size and n_lanes > values.size:
+        raise ValueError("more lanes than values")
+    if anchor_stride < 1:
+        raise ValueError("anchor_stride must be positive")
+    if values.size == 0:
+        table = LaneTable(
+            n_lanes=1,
+            anchor_stride=anchor_stride,
+            lane_bits=np.zeros(1, dtype=np.int64),
+            anchors=(np.empty(0, dtype=np.int64),),
+        )
+        return LaneEncoding(lanes=(PackedBits(data=b"", n_bits=0),), table=table)
+    idx = np.searchsorted(code.symbols, values)
+    idx = np.clip(idx, 0, code.n_symbols - 1)
+    if not np.array_equal(code.symbols[idx], values):
+        raise ValueError("value outside the code's alphabet")
+    lengths = code.lengths[idx].astype(np.int64)
+    codewords = code.codewords[idx]
+
+    bounds = np.concatenate([[0], np.cumsum(lane_sizes(values.size, n_lanes))])
+    lanes: list[PackedBits] = []
+    lane_bits = np.empty(n_lanes, dtype=np.int64)
+    anchors: list[np.ndarray] = []
+    for lo, hi in zip(bounds[:-1], bounds[1:]):
+        lane_lens = lengths[lo:hi]
+        lanes.append(pack_codes(codewords[lo:hi], lane_lens))
+        ends = np.cumsum(lane_lens)
+        lane_bits[len(lanes) - 1] = int(ends[-1]) if ends.size else 0
+        # Bit offset where codeword anchor_stride, 2*anchor_stride, ...
+        # begins: the boundary *after* the preceding codeword.
+        anchors.append(ends[anchor_stride - 1 : ends.size - 1 : anchor_stride])
+    table = LaneTable(
+        n_lanes=n_lanes,
+        anchor_stride=anchor_stride,
+        lane_bits=lane_bits,
+        anchors=tuple(np.asarray(a, dtype=np.int64) for a in anchors),
+    )
+    return LaneEncoding(lanes=tuple(lanes), table=table)
+
+
+def _anchor_counts(n_values: int, n_lanes: int, stride: int) -> np.ndarray:
+    """Per-lane anchor count implied by the contiguous-split rule."""
+    sizes = lane_sizes(n_values, n_lanes)
+    return np.maximum(0, -(-sizes // stride) - 1)
+
+
+def serialize_lane_tree(code: HuffmanCode, table: LaneTable) -> bytes:
+    """Serialize lane table + canonical code table (tree section v2).
+
+    Layout: ``HLT1`` magic, lane header, one u64 bit length per lane,
+    varint-coded anchor *deltas* (per lane, from 0), then the v1 tree
+    bytes.  The whole blob is what Encr-Huffman encrypts in format v3.
+    """
+    deltas = np.concatenate(
+        [np.diff(a, prepend=np.int64(0)) for a in table.anchors]
+    ) if table.anchors else np.empty(0, np.int64)
+    varints = intcodec.varint_encode(deltas) if deltas.size else b""
+    return (
+        _LANE_HEADER.pack(
+            _LANE_MAGIC, table.n_lanes, table.anchor_stride, len(varints)
+        )
+        + table.lane_bits.astype("<i8").tobytes()
+        + varints
+        + serialize_tree(code)
+    )
+
+
+def deserialize_lane_tree(data: bytes, n_values: int) -> tuple[HuffmanCode, LaneTable]:
+    """Parse a v2 tree section back into ``(code, lane_table)``.
+
+    Validates every structural invariant of the lane table — lane
+    count, bit lengths, anchor monotonicity and counts — so corrupted
+    or tampered tables are rejected before the decode kernel runs.
+    """
+    if len(data) < _LANE_HEADER.size:
+        raise ValueError("lane tree section shorter than its header")
+    magic, n_lanes, stride, varint_len = _LANE_HEADER.unpack_from(data)
+    if magic != _LANE_MAGIC:
+        raise ValueError("bad lane-table magic; not a v3 tree section")
+    if not 1 <= n_lanes <= MAX_LANES:
+        raise ValueError(f"lane count {n_lanes} outside 1..{MAX_LANES}")
+    if n_values and n_lanes > n_values:
+        raise ValueError("lane table has more lanes than symbols")
+    if stride < 1:
+        raise ValueError("anchor stride must be positive")
+    off = _LANE_HEADER.size
+    if len(data) < off + 8 * n_lanes + varint_len:
+        raise ValueError("truncated lane table")
+    lane_bits = np.frombuffer(data, dtype="<i8", offset=off, count=n_lanes).astype(
+        np.int64
+    )
+    if lane_bits.min() < 0:
+        raise ValueError("negative lane bit length")
+    off += 8 * n_lanes
+    counts = _anchor_counts(n_values, n_lanes, stride)
+    deltas = intcodec.varint_decode(
+        data[off : off + varint_len], int(counts.sum())
+    )
+    off += varint_len
+    if deltas.size and deltas.min() < 1:
+        raise ValueError("lane anchor deltas must be positive")
+    anchors: list[np.ndarray] = []
+    pos = 0
+    for l in range(n_lanes):
+        a = np.cumsum(deltas[pos : pos + int(counts[l])]).astype(np.int64)
+        pos += int(counts[l])
+        if a.size and int(a[-1]) >= int(lane_bits[l]):
+            raise ValueError("lane anchor beyond the lane bitstream")
+        anchors.append(a)
+    code = deserialize_tree(data[off:])
+    table = LaneTable(
+        n_lanes=n_lanes,
+        anchor_stride=stride,
+        lane_bits=lane_bits,
+        anchors=tuple(anchors),
+    )
+    return code, table
+
+
 class _Decoder:
     """Table-driven canonical decoder (see module docstring)."""
 
@@ -296,6 +533,35 @@ class _Decoder:
                         int(where[0]),
                         int(where.size),
                     )
+
+    def kernel_tables(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Lookup tables shaped for the vectorized lane kernel.
+
+        Returns ``(tab_sym, tab_len64, lj_codes, lj_symbols, lj_lengths)``
+        where ``tab_len64`` is the primary length table widened to int64
+        (so per-iteration cursor updates stay cast-free) and the three
+        ``lj_*`` arrays hold the *whole* code left-justified to
+        ``max_len`` bits and sorted ascending.  Canonical codewords are
+        strictly increasing when left-justified, so a primary-table
+        miss resolves with a single ``searchsorted`` (largest
+        left-justified codeword <= the next ``max_len`` window bits)
+        instead of a per-length scan.
+        """
+        try:
+            return self._kernel_tables
+        except AttributeError:
+            pass
+        lengths = self.code.lengths.astype(np.int64)
+        lj = self.code.codewords.astype(np.int64) << (self.max_len - lengths)
+        order = np.argsort(lj, kind="stable")
+        self._kernel_tables = (
+            self.tab_sym,
+            self.tab_len.astype(np.int64),
+            lj[order],
+            self.code.symbols[order],
+            lengths[order],
+        )
+        return self._kernel_tables
 
     def _build_fast_table(self) -> None:
         """Multi-symbol lookup: for every t_bits window, the run of
@@ -419,8 +685,44 @@ class _Decoder:
         return np.array(out, dtype=np.int64)
 
 
+#: Decoder instances are pure functions of the code table, and the
+#: chunked/filestream paths decode under the same code many times, so a
+#: small keyed cache skips rebuilding the lookup tables (and any lazily
+#: built fast/kernel tables riding on the instance).
+_DECODER_CACHE_SIZE = 8
+_decoder_cache: OrderedDict[bytes, _Decoder] = OrderedDict()
+_decoder_cache_lock = threading.Lock()
+
+
+def _code_digest(code: HuffmanCode) -> bytes:
+    """Digest of the canonical table — equivalent to hashing the
+    serialized tree (lengths + symbols fully determine it), without
+    paying the varint re-serialization per decode call."""
+    h = hashlib.blake2b(digest_size=16)
+    h.update(np.ascontiguousarray(code.symbols).tobytes())
+    h.update(np.ascontiguousarray(code.lengths).tobytes())
+    return h.digest()
+
+
+def decoder_for(code: HuffmanCode) -> _Decoder:
+    """Fetch (or build and cache) the table-driven decoder for ``code``."""
+    key = _code_digest(code)
+    with _decoder_cache_lock:
+        dec = _decoder_cache.get(key)
+        if dec is not None:
+            _decoder_cache.move_to_end(key)
+            return dec
+    dec = _Decoder(code)
+    with _decoder_cache_lock:
+        _decoder_cache[key] = dec
+        _decoder_cache.move_to_end(key)
+        while len(_decoder_cache) > _DECODER_CACHE_SIZE:
+            _decoder_cache.popitem(last=False)
+    return dec
+
+
 def decode(packed: PackedBits, code: HuffmanCode, n_values: int) -> np.ndarray:
     """Decode ``n_values`` symbols from a Huffman bitstream."""
     if n_values == 0:
         return np.empty(0, dtype=np.int64)
-    return _Decoder(code).decode(packed, n_values)
+    return decoder_for(code).decode(packed, n_values)
