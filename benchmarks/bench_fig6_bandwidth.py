@@ -11,10 +11,12 @@ Paper shapes to reproduce (absolute MB/s are testbed-specific):
   codeword stream *and* slows the zlib stage).
 """
 
-from repro.bench.harness import EBS, SCHEME_LABELS, dataset_cache, measure_scheme
+from repro.bench.harness import (
+    EBS, SCHEME_LABELS, dataset_cache, measure_scheme, trace_cell,
+)
 from repro.bench.tables import format_series
 
-from conftest import ALL_SCHEMES, BANDWIDTH_DATASETS, BENCH_SIZE, emit
+from conftest import ALL_SCHEMES, BANDWIDTH_DATASETS, BENCH_SIZE, emit, emit_trace
 
 
 def test_fig6_bandwidth(grid, eb_labels, benchmark):
@@ -45,6 +47,15 @@ def test_fig6_bandwidth(grid, eb_labels, benchmark):
             )
         )
     emit("fig6_bandwidth", "\n\n".join(blocks))
+
+    # A trace record of the headline cell (Temperature, Encr-Huffman):
+    # the span byte flow explains the bandwidth number — compress root
+    # bytes_in is the original size the MB/s figures divide by.
+    doc = trace_cell(dataset_cache("t", size=BENCH_SIZE), "encr_huffman", 1e-4)
+    emit_trace("fig6_t_encr_huffman", doc)
+    assert doc["roots"][0]["name"] == "compress"
+    assert (doc["roots"][0]["bytes_in"]
+            == dataset_cache("t", size=BENCH_SIZE).nbytes)
 
     # Shape checks.  The emitted series are wall-clock (that is what
     # the figure shows), but wall-clock comparisons of 2-8 ms cells

@@ -7,10 +7,12 @@ time goes (encryption of the codeword stream + a slower zlib) and how
 little Encr-Huffman's encryption slice is.
 """
 
-from repro.bench.harness import EBS, SCHEME_LABELS, dataset_cache, measure_scheme
+from repro.bench.harness import (
+    EBS, SCHEME_LABELS, dataset_cache, measure_scheme, trace_cell,
+)
 from repro.bench.tables import format_grid
 
-from conftest import ALL_SCHEMES, BANDWIDTH_DATASETS, BENCH_SIZE, emit
+from conftest import ALL_SCHEMES, BANDWIDTH_DATASETS, BENCH_SIZE, emit, emit_trace
 
 #: Stage grouping used for the stacked bars.
 GROUPS = (
@@ -59,6 +61,31 @@ def test_fig7_time_breakdown(grid, benchmark):
             )
         )
     emit("fig7_time_breakdown", "\n\n".join(blocks))
+
+    # The same breakdown as a trace record: one traced cell per scheme,
+    # emitted next to the table so the figure's numbers can be drilled
+    # into span-by-span.  The stage spans and the flat stage map come
+    # from one code path, so every stage key the table reads must
+    # appear as a stage span under the compress root.
+    for scheme in ALL_SCHEMES:
+        doc = trace_cell(
+            dataset_cache("t", size=BENCH_SIZE), scheme, FIG7_EB
+        )
+        emit_trace(f"fig7_{scheme}", doc)
+        span_names = set()
+
+        def collect(span):
+            span_names.add(span["name"])
+            for child in span["children"]:
+                collect(child)
+
+        for root in doc["roots"]:
+            collect(root)
+        m = grid[("t", scheme, FIG7_EB)]
+        assert set(m.compress_times.seconds) <= span_names, (
+            f"{scheme}: stage keys missing from the trace: "
+            f"{set(m.compress_times.seconds) - span_names}"
+        )
 
     for name in BANDWIDTH_DATASETS:
         # Plain SZ spends nothing on encryption...

@@ -13,11 +13,13 @@ writes ``benchmarks/results/<name>.txt`` and prints it (visible with
 
 from __future__ import annotations
 
+import json
 import os
 
 import pytest
 
 from repro.bench.harness import EBS, sweep
+from repro.core import trace
 
 #: All six datasets of Tables II-V (wf48 appears in Table I but not in
 #: the evaluation tables; Fig. 2's four datasets are a subset).
@@ -43,6 +45,21 @@ def emit(name: str, text: str) -> None:
     with open(path, "w") as fh:
         fh.write(text + "\n")
     print(f"\n{text}\n[written to {path}]")
+
+
+def emit_trace(name: str, doc: dict) -> str:
+    """Record a ``repro-trace/1`` document next to the result tables.
+
+    Validates against the documented schema first, so a benchmark can
+    never publish a malformed trace; returns the path written.
+    """
+    trace.validate(doc)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.trace.json")
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2)
+    print(f"[trace written to {path}]")
+    return path
 
 
 @pytest.fixture(scope="session")

@@ -15,6 +15,7 @@ import time
 
 import numpy as np
 
+from repro.core import trace
 from repro.core.metrics import bandwidth_mb_s, compression_ratio
 from repro.core.pipeline import SecureCompressor
 from repro.core.timing import StageTimes
@@ -29,6 +30,7 @@ __all__ = [
     "dataset_cache",
     "measure_scheme",
     "sweep",
+    "trace_cell",
 ]
 
 #: The paper's absolute error-bound grid (Tables II-V columns).
@@ -244,6 +246,37 @@ def measure_scheme(
         decompress_times=decomp_times,
         sz_stats=result.sz_stats,
     )
+
+
+def trace_cell(
+    data: np.ndarray,
+    scheme: str,
+    eb: float,
+    *,
+    key: bytes = KEY,
+    cipher_mode: str = "cbc",
+    seed: int = 1,
+    **kwargs,
+) -> dict:
+    """One traced compress+decompress of a (data, scheme, eb) cell.
+
+    Returns the validated ``repro-trace/1`` document — the same spans
+    and counters the library records for any caller, so bench output
+    and library instrumentation share one code path (the benchmarks
+    emit these next to their tables; see ``conftest.emit_trace``).
+    """
+    sc = SecureCompressor(
+        scheme=scheme,
+        error_bound=eb,
+        key=key if scheme != "none" else None,
+        cipher_mode=cipher_mode,
+        random_state=np.random.default_rng(seed),
+        **kwargs,
+    )
+    tr = trace.Tracer()
+    result = sc.compress(np.asarray(data), tracer=tr)
+    sc.decompress(result.container, tracer=tr)
+    return trace.validate(tr.export())
 
 
 def measure_overhead_paired(

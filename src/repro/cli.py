@@ -5,6 +5,7 @@ Subcommands::
     secz compress       INPUT OUTPUT --shape Z,Y,X --eb 1e-3 --scheme encr_huffman
     secz decompress     INPUT OUTPUT
     secz inspect        INPUT
+    secz trace          [INPUT | --synthetic NAME] [--json T.json] [--chrome T.trace]
     secz nist           INPUT [--streams 12]
     secz datasets
     secz advise         INPUT [--shape Z,Y,X] --eb 1e-3 [--randomness]
@@ -93,6 +94,32 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_i = sub.add_parser("inspect", help="print container metadata")
     p_i.add_argument("input")
+
+    p_t = sub.add_parser(
+        "trace",
+        help="compress a field with tracing on and show the span tree",
+    )
+    p_t.add_argument("input", nargs="?", default=None,
+                     help=".npy or raw .bin field (omit with --synthetic)")
+    p_t.add_argument("--synthetic", choices=sorted(DATASETS), default=None,
+                     help="trace a generated dataset instead of a file")
+    p_t.add_argument("--size", choices=("tiny", "small", "medium"),
+                     default="small", help="synthetic dataset size preset")
+    p_t.add_argument("--shape", type=_parse_shape, default=None,
+                     help="comma-separated dims for raw .bin input")
+    p_t.add_argument("--eb", type=float, default=1e-3)
+    p_t.add_argument("--scheme", choices=sorted(SCHEMES),
+                     default="encr_huffman")
+    p_t.add_argument("--mode", choices=("cbc", "ctr"), default="cbc")
+    p_t.add_argument("--key-hex")
+    p_t.add_argument("--passphrase")
+    p_t.add_argument("--json", metavar="PATH", default=None,
+                     help="write the repro-trace/1 JSON document to PATH")
+    p_t.add_argument("--chrome", metavar="PATH", default=None,
+                     help="write a Chrome trace-event file to PATH "
+                          "(load in chrome://tracing or Perfetto)")
+    p_t.add_argument("--no-decompress", action="store_true",
+                     help="trace compression only")
 
     p_n = sub.add_parser("nist", help="run SP800-22 on a file's bytes")
     p_n.add_argument("input")
@@ -189,6 +216,54 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.core import trace
+
+    if (args.input is None) == (args.synthetic is None):
+        raise SystemExit("pass exactly one of INPUT or --synthetic NAME")
+    if args.synthetic is not None:
+        data = np.asarray(generate(args.synthetic, size=args.size))
+        source = f"synthetic:{args.synthetic}[{args.size}]"
+    else:
+        data = _load_input(args.input, args.shape)
+        source = args.input
+    key = _key_from_args(args)
+    if key is None and get_scheme(args.scheme).requires_key:
+        key = derive_key("secz-trace")
+        print("note: no key given; using a throwaway key derived from "
+              "'secz-trace' (pass --key-hex/--passphrase for real data)")
+    sc = SecureCompressor(
+        scheme=args.scheme,
+        error_bound=args.eb,
+        key=key,
+        cipher_mode=args.mode,
+    )
+    tr = trace.Tracer()
+    result = sc.compress(
+        np.ascontiguousarray(data, dtype=np.float32)
+        if data.dtype != np.float64 else data,
+        tracer=tr,
+    )
+    if not args.no_decompress:
+        sc.decompress(result.container, tracer=tr)
+    doc = trace.validate(tr.export())
+    print(f"trace of {source} ({data.nbytes} bytes, scheme {args.scheme})")
+    print()
+    print(trace.format_tree(doc))
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(doc, fh, indent=2)
+        print(f"\nwrote {args.json}")
+    if args.chrome:
+        with open(args.chrome, "w") as fh:
+            json.dump(trace.chrome_trace(doc), fh)
+        print(f"wrote {args.chrome} (open in chrome://tracing or "
+              "https://ui.perfetto.dev)")
+    return 0
+
+
 def _cmd_nist(args: argparse.Namespace) -> int:
     with open(args.input, "rb") as fh:
         blob = fh.read()
@@ -271,6 +346,7 @@ def main(argv: list[str] | None = None) -> int:
         "compress": _cmd_compress,
         "decompress": _cmd_decompress,
         "inspect": _cmd_inspect,
+        "trace": _cmd_trace,
         "nist": _cmd_nist,
         "datasets": _cmd_datasets,
         "advise": _cmd_advise,

@@ -39,10 +39,12 @@ from repro.core.metrics import (
 )
 from repro.core.pipeline import CompressResult, SecureCompressor
 from repro.core.schemes import SCHEMES, Scheme, get_scheme
+from repro.core.trace import Tracer
 
 __all__ = [
     "SecureCompressor",
     "CompressResult",
+    "Tracer",
     "Scheme",
     "SCHEMES",
     "get_scheme",

@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.core import container as cont
 from repro.core import integrity
+from repro.core import trace
 from repro.core.schemes import Scheme, get_scheme
 from repro.core.timing import StageTimes
 from repro.crypto import rng as crypto_rng
@@ -150,21 +151,36 @@ class SecureCompressor:
 
     # ------------------------------------------------------------------
 
-    def compress(self, data: np.ndarray) -> CompressResult:
-        """Compress ``data`` and apply the scheme's protection."""
+    def compress(
+        self, data: np.ndarray, *, tracer: trace.Tracer | None = None
+    ) -> CompressResult:
+        """Compress ``data`` and apply the scheme's protection.
+
+        Pass a :class:`repro.core.trace.Tracer` to record a full span
+        tree (see docs/OBSERVABILITY.md); the flat ``times`` in the
+        result is populated either way.
+        """
+        tr = trace.tracer_for(tracer)
         times = StageTimes()
-        frame = self._sz.compress(data)
-        times.merge(frame.stats.stage_seconds)
-        iv = self._fresh_iv()
-        out_sections = self._scheme.protect(
-            frame.sections, self._cipher, iv, self.cipher_mode,
-            self.zlib_level, times,
-        )
-        blob = cont.pack_container(
-            self._scheme.scheme_id, self.cipher_mode, iv, out_sections
-        )
-        if self.authenticate:
-            blob = integrity.authenticate(blob, self._master_key)
+        with tr.span(
+            "compress", bytes_in=data.nbytes, mirror=times.seconds,
+            scheme=self._scheme.name, cipher_mode=self.cipher_mode,
+        ) as root:
+            frame = self._sz.compress(data, tracer=tr)
+            times.merge(frame.stats.stage_seconds)
+            iv = self._fresh_iv()
+            with tr.span("protect") as psp:
+                out_sections = self._scheme.protect(
+                    frame.sections, self._cipher, iv, self.cipher_mode,
+                    self.zlib_level, tr if tr.enabled else times,
+                )
+                psp.bytes_out = sum(len(v) for v in out_sections.values())
+            blob = cont.pack_container(
+                self._scheme.scheme_id, self.cipher_mode, iv, out_sections
+            )
+            if self.authenticate:
+                blob = integrity.authenticate(blob, self._master_key)
+            root.bytes_out = len(blob)
         return CompressResult(
             container=blob,
             sz_stats=frame.stats,
@@ -173,43 +189,58 @@ class SecureCompressor:
             scheme=self._scheme.name,
         )
 
-    def decompress(self, blob: bytes) -> np.ndarray:
+    def decompress(
+        self, blob: bytes, *, tracer: trace.Tracer | None = None
+    ) -> np.ndarray:
         """Decompress a SECZ container back to the bounded field."""
-        data, _ = self.decompress_with_times(blob)
+        data, _ = self.decompress_with_times(blob, tracer=tracer)
         return data
 
-    def decompress_with_times(self, blob: bytes) -> tuple[np.ndarray, StageTimes]:
+    def decompress_with_times(
+        self, blob: bytes, *, tracer: trace.Tracer | None = None
+    ) -> tuple[np.ndarray, StageTimes]:
         """Like :meth:`decompress`, also returning stage times.
 
         Authenticated containers (``SECA`` magic) are verified before
         any parsing; verification failure raises
         :class:`~repro.core.integrity.AuthenticationError`.
         """
+        tr = trace.tracer_for(tracer)
         times = StageTimes()
-        if blob[: len(integrity.MAGIC)] == integrity.MAGIC:
-            if self._master_key is None:
-                raise ValueError(
-                    "authenticated container requires a key for verification"
+        with tr.span(
+            "decompress", bytes_in=len(blob), mirror=times.seconds,
+            scheme=self._scheme.name,
+        ) as root:
+            if blob[: len(integrity.MAGIC)] == integrity.MAGIC:
+                if self._master_key is None:
+                    raise ValueError(
+                        "authenticated container requires a key for "
+                        "verification"
+                    )
+                blob = integrity.verify_and_strip(blob, self._master_key)
+            elif self.authenticate:
+                raise integrity.AuthenticationError(
+                    "expected an authenticated (SECA) container"
                 )
-            blob = integrity.verify_and_strip(blob, self._master_key)
-        elif self.authenticate:
-            raise integrity.AuthenticationError(
-                "expected an authenticated (SECA) container"
+            parsed = cont.parse_container(blob)
+            scheme = get_scheme(parsed.scheme_id)
+            if scheme.name != self._scheme.name:
+                raise ValueError(
+                    f"container was written with scheme {scheme.name!r} but "
+                    f"this compressor is configured for {self._scheme.name!r}"
+                )
+            with tr.span("unprotect"):
+                frame_sections = scheme.unprotect(
+                    parsed.sections, self._cipher, parsed.iv,
+                    parsed.cipher_mode, tr if tr.enabled else times,
+                )
+            frame = SZFrame(
+                sections=frame_sections, stats=_placeholder_stats()
             )
-        parsed = cont.parse_container(blob)
-        scheme = get_scheme(parsed.scheme_id)
-        if scheme.name != self._scheme.name:
-            raise ValueError(
-                f"container was written with scheme {scheme.name!r} but this "
-                f"compressor is configured for {self._scheme.name!r}"
-            )
-        frame_sections = scheme.unprotect(
-            parsed.sections, self._cipher, parsed.iv, parsed.cipher_mode, times
-        )
-        frame = SZFrame(sections=frame_sections, stats=_placeholder_stats())
-        decode_times: dict[str, float] = {}
-        data = self._sz.decompress(frame, decode_times)
-        times.merge(decode_times)
+            decode_times: dict[str, float] = {}
+            data = self._sz.decompress(frame, decode_times, tracer=tr)
+            times.merge(decode_times)
+            root.bytes_out = data.nbytes
         return data, times
 
 

@@ -24,6 +24,7 @@ from __future__ import annotations
 import abc
 
 from repro.core import container as cont
+from repro.core import trace
 from repro.core.timing import StageTimes
 from repro.crypto.aes import AES128
 from repro.sz import lossless
@@ -51,9 +52,14 @@ class Scheme(abc.ABC):
         iv: bytes,
         mode: str,
         level: int,
-        times: StageTimes,
+        times: "StageTimes | trace.Tracer | dict | None",
     ) -> dict[str, bytes]:
-        """Transform frame sections into container sections."""
+        """Transform frame sections into container sections.
+
+        ``times`` accepts a :class:`~repro.core.timing.StageTimes`, a
+        :class:`~repro.core.trace.Tracer`, a plain ``{stage: seconds}``
+        dict, or ``None`` — see :func:`repro.core.trace.tracer_for`.
+        """
 
     @abc.abstractmethod
     def unprotect(
@@ -62,7 +68,7 @@ class Scheme(abc.ABC):
         cipher: AES128 | None,
         iv: bytes,
         mode: str,
-        times: StageTimes,
+        times: "StageTimes | trace.Tracer | dict | None",
     ) -> dict[str, bytes]:
         """Invert :meth:`protect` back to frame sections."""
 
@@ -98,14 +104,18 @@ class NoEncryption(Scheme):
     requires_key = False
 
     def protect(self, frame_sections, cipher, iv, mode, level, times):
+        tr = trace.tracer_for(times)
         blob = self._frame_blob(frame_sections)
-        with times.stage("lossless"):
+        with tr.stage("lossless", bytes_in=len(blob)) as sp:
             z = lossless.compress(blob, level)
+            sp.bytes_out = len(z)
         return {"zblob": z}
 
     def unprotect(self, sections, cipher, iv, mode, times):
-        with times.stage("lossless"):
+        tr = trace.tracer_for(times)
+        with tr.stage("lossless", bytes_in=len(sections["zblob"])) as sp:
             blob = lossless.decompress(sections["zblob"])
+            sp.bytes_out = len(blob)
         return cont.unpack_sections(blob)
 
 
@@ -121,20 +131,27 @@ class CmprEncr(Scheme):
     scheme_id = 1
 
     def protect(self, frame_sections, cipher, iv, mode, level, times):
+        tr = trace.tracer_for(times)
         cipher = self._check_cipher(cipher)
         blob = self._frame_blob(frame_sections)
-        with times.stage("lossless"):
+        with tr.stage("lossless", bytes_in=len(blob)) as sp:
             z = lossless.compress(blob, level)
-        with times.stage("encrypt"):
+            sp.bytes_out = len(z)
+        with tr.stage("encrypt", bytes_in=len(z), mode=mode) as sp:
             ct = cipher.encrypt(z, mode=mode, iv=iv).ciphertext
+            sp.bytes_out = len(ct)
         return {"cipher": ct}
 
     def unprotect(self, sections, cipher, iv, mode, times):
+        tr = trace.tracer_for(times)
         cipher = self._check_cipher(cipher)
-        with times.stage("decrypt"):
+        with tr.stage("decrypt", bytes_in=len(sections["cipher"]),
+                      mode=mode) as sp:
             z = cipher.decrypt(sections["cipher"], iv, mode=mode)
-        with times.stage("lossless"):
+            sp.bytes_out = len(z)
+        with tr.stage("lossless", bytes_in=len(z)) as sp:
             blob = lossless.decompress(z)
+            sp.bytes_out = len(blob)
         return cont.unpack_sections(blob)
 
     def encrypted_bytes(self, frame_sections):
@@ -165,24 +182,33 @@ class EncrQuant(Scheme):
     _PLAIN = ("unpred", "coeffs", "exact", "aux")
 
     def protect(self, frame_sections, cipher, iv, mode, level, times):
+        tr = trace.tracer_for(times)
         cipher = self._check_cipher(cipher)
         quant_blob = cont.pack_sections(
             {k: frame_sections[k] for k in self._ENCRYPTED}
         )
-        with times.stage("encrypt"):
+        with tr.stage("encrypt", bytes_in=len(quant_blob), mode=mode) as sp:
             ct = cipher.encrypt(quant_blob, mode=mode, iv=iv).ciphertext
+            sp.bytes_out = len(ct)
         outer = {"cipher": ct}
         outer.update({k: frame_sections[k] for k in self._PLAIN})
-        with times.stage("lossless"):
-            z = lossless.compress(cont.pack_sections(outer), level)
+        packed = cont.pack_sections(outer)
+        with tr.stage("lossless", bytes_in=len(packed)) as sp:
+            z = lossless.compress(packed, level)
+            sp.bytes_out = len(z)
         return {"zblob": z}
 
     def unprotect(self, sections, cipher, iv, mode, times):
+        tr = trace.tracer_for(times)
         cipher = self._check_cipher(cipher)
-        with times.stage("lossless"):
-            outer = cont.unpack_sections(lossless.decompress(sections["zblob"]))
-        with times.stage("decrypt"):
+        with tr.stage("lossless", bytes_in=len(sections["zblob"])) as sp:
+            blob = lossless.decompress(sections["zblob"])
+            sp.bytes_out = len(blob)
+        outer = cont.unpack_sections(blob)
+        with tr.stage("decrypt", bytes_in=len(outer["cipher"]),
+                      mode=mode) as sp:
             quant_blob = cipher.decrypt(outer["cipher"], iv, mode=mode)
+            sp.bytes_out = len(quant_blob)
         frame_sections = cont.unpack_sections(quant_blob)
         frame_sections.update({k: outer[k] for k in self._PLAIN})
         return frame_sections
@@ -220,24 +246,36 @@ class EncrHuffman(Scheme):
         # fraction either way; at this repo's scaled-down sizes the
         # pre-compression is what preserves the paper's ">99 % of the
         # original CR" observation (see DESIGN.md §5).
-        with times.stage("lossless"):
+        tr = trace.tracer_for(times)
+        with tr.stage("lossless",
+                      bytes_in=len(frame_sections["tree"])) as sp:
             tree_z = lossless.compress(frame_sections["tree"], level)
-        with times.stage("encrypt"):
+            sp.bytes_out = len(tree_z)
+        with tr.stage("encrypt", bytes_in=len(tree_z), mode=mode) as sp:
             ct = cipher.encrypt(tree_z, mode=mode, iv=iv).ciphertext
+            sp.bytes_out = len(ct)
         outer = {"cipher": ct}
         outer.update({k: frame_sections[k] for k in self._PLAIN})
-        with times.stage("lossless"):
-            z = lossless.compress(cont.pack_sections(outer), level)
+        packed = cont.pack_sections(outer)
+        with tr.stage("lossless", bytes_in=len(packed)) as sp:
+            z = lossless.compress(packed, level)
+            sp.bytes_out = len(z)
         return {"zblob": z}
 
     def unprotect(self, sections, cipher, iv, mode, times):
+        tr = trace.tracer_for(times)
         cipher = self._check_cipher(cipher)
-        with times.stage("lossless"):
-            outer = cont.unpack_sections(lossless.decompress(sections["zblob"]))
-        with times.stage("decrypt"):
+        with tr.stage("lossless", bytes_in=len(sections["zblob"])) as sp:
+            blob = lossless.decompress(sections["zblob"])
+            sp.bytes_out = len(blob)
+        outer = cont.unpack_sections(blob)
+        with tr.stage("decrypt", bytes_in=len(outer["cipher"]),
+                      mode=mode) as sp:
             tree_z = cipher.decrypt(outer["cipher"], iv, mode=mode)
-        with times.stage("lossless"):
+            sp.bytes_out = len(tree_z)
+        with tr.stage("lossless", bytes_in=len(tree_z)) as sp:
             tree = lossless.decompress(tree_z)
+            sp.bytes_out = len(tree)
         frame_sections = {k: outer[k] for k in self._PLAIN}
         frame_sections["tree"] = tree
         return frame_sections
@@ -264,23 +302,33 @@ class EncrHuffmanRaw(EncrHuffman):
     scheme_id = 4
 
     def protect(self, frame_sections, cipher, iv, mode, level, times):
+        tr = trace.tracer_for(times)
         cipher = self._check_cipher(cipher)
-        with times.stage("encrypt"):
+        with tr.stage("encrypt", bytes_in=len(frame_sections["tree"]),
+                      mode=mode) as sp:
             ct = cipher.encrypt(
                 frame_sections["tree"], mode=mode, iv=iv
             ).ciphertext
+            sp.bytes_out = len(ct)
         outer = {"cipher": ct}
         outer.update({k: frame_sections[k] for k in self._PLAIN})
-        with times.stage("lossless"):
-            z = lossless.compress(cont.pack_sections(outer), level)
+        packed = cont.pack_sections(outer)
+        with tr.stage("lossless", bytes_in=len(packed)) as sp:
+            z = lossless.compress(packed, level)
+            sp.bytes_out = len(z)
         return {"zblob": z}
 
     def unprotect(self, sections, cipher, iv, mode, times):
+        tr = trace.tracer_for(times)
         cipher = self._check_cipher(cipher)
-        with times.stage("lossless"):
-            outer = cont.unpack_sections(lossless.decompress(sections["zblob"]))
-        with times.stage("decrypt"):
+        with tr.stage("lossless", bytes_in=len(sections["zblob"])) as sp:
+            blob = lossless.decompress(sections["zblob"])
+            sp.bytes_out = len(blob)
+        outer = cont.unpack_sections(blob)
+        with tr.stage("decrypt", bytes_in=len(outer["cipher"]),
+                      mode=mode) as sp:
             tree = cipher.decrypt(outer["cipher"], iv, mode=mode)
+            sp.bytes_out = len(tree)
         frame_sections = {k: outer[k] for k in self._PLAIN}
         frame_sections["tree"] = tree
         return frame_sections

@@ -1,0 +1,617 @@
+"""Pipeline observability: hierarchical trace spans, byte-flow
+accounting and process-wide counters.
+
+The paper's whole evaluation is an observability exercise — Fig. 7 is
+a per-stage time breakdown, Tables III–V are stage-time ratios, and
+Sec. V-D argues from *byte volumes* (how much each scheme feeds to
+AES).  The flat ``StageTimes`` seconds map served the tables but could
+not answer the questions this repo now generates: where does the lane
+decoder's ~8x win come from, how many bytes enter and leave each
+stage, how often does the decoder cache hit?  This module is the
+first-class answer:
+
+* :class:`Span` — one timed operation: name, wall seconds, bytes in /
+  bytes out, ``key=value`` attributes, child spans.
+* :class:`Tracer` — records a span tree (thread-safe: each thread
+  keeps its own open-span stack, finished roots are appended under a
+  lock) and mirrors *stage* spans into the flat ``{stage: seconds}``
+  maps the Fig. 7 / Tables III–V benchmarks keep reading.  Disabled
+  tracers skip all span bookkeeping, so the default (untraced) path
+  pays only the stage timing it always paid.
+* process-wide **counters** (:func:`count` / :func:`counters_snapshot`)
+  for the quantities that do not belong to any single span: decoder
+  LRU hits/misses, lanes and segments decoded, AES blocks processed,
+  zlib bytes in/out.
+* exporters — :meth:`Tracer.export` (the ``repro-trace/1`` JSON
+  document, see docs/OBSERVABILITY.md), :func:`chrome_trace` (Chrome
+  ``chrome://tracing`` / Perfetto event format) and
+  :func:`format_tree` (human-readable tree, what ``secz trace``
+  prints), plus :func:`validate` which rejects anything that does not
+  match the documented schema.
+
+This module deliberately imports nothing from the rest of the package
+(stdlib only), so the substrate layers (``repro.sz``, ``repro.crypto``)
+may use its counters without creating an upward dependency.
+
+Examples
+--------
+>>> tr = Tracer()
+>>> with tr.span("compress", bytes_in=4096) as root:
+...     with tr.stage("quantize"):
+...         pass
+...     root.bytes_out = 512
+>>> doc = validate(tr.export())
+>>> doc["schema"]
+'repro-trace/1'
+>>> [child["name"] for child in doc["roots"][0]["children"]]
+['quantize']
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+__all__ = [
+    "SCHEMA",
+    "KNOWN_COUNTERS",
+    "Span",
+    "Tracer",
+    "NULL_TRACER",
+    "tracer_for",
+    "span_from_dict",
+    "chrome_trace",
+    "format_tree",
+    "validate",
+    "count",
+    "count_many",
+    "counters_snapshot",
+    "reset_counters",
+    "merge_counters",
+]
+
+#: Schema identifier stamped into every exported trace document.
+SCHEMA = "repro-trace/1"
+
+#: The counter registry (documented in docs/OBSERVABILITY.md).  Other
+#: names are legal — this tuple is the contract for the names the
+#: library itself emits.
+KNOWN_COUNTERS = (
+    "fastdecode.cache_hits",       # decoder LRU served a cached decoder
+    "fastdecode.cache_misses",     # decoder tables had to be rebuilt
+    "fastdecode.lanes",            # Huffman lanes decoded (v3 frames)
+    "fastdecode.segments",         # independent decode segments (lanes + anchors)
+    "aes.blocks_encrypted",        # 16-byte blocks through CBC encryption
+    "aes.blocks_decrypted",        # 16-byte blocks through CBC decryption
+    "aes.blocks_keystream",        # 16-byte CTR keystream blocks generated
+    "zlib.deflate_in_bytes",       # plaintext bytes into zlib.compress
+    "zlib.deflate_out_bytes",      # compressed bytes out of zlib.compress
+    "zlib.inflate_in_bytes",       # compressed bytes into zlib.decompress
+    "zlib.inflate_out_bytes",      # plaintext bytes out of zlib.decompress
+)
+
+_JSON_SCALARS = (str, int, float, bool, type(None))
+
+
+# ----------------------------------------------------------------------
+# Process-wide counters
+# ----------------------------------------------------------------------
+
+_counters: dict[str, int] = {}
+_counters_lock = threading.Lock()
+
+
+def count(name: str, n: int = 1) -> None:
+    """Add ``n`` to the process-wide counter ``name`` (thread-safe)."""
+    with _counters_lock:
+        _counters[name] = _counters.get(name, 0) + int(n)
+
+
+def count_many(increments: dict[str, int]) -> None:
+    """Apply several counter increments under one lock acquisition."""
+    with _counters_lock:
+        for name, n in increments.items():
+            _counters[name] = _counters.get(name, 0) + int(n)
+
+
+def counters_snapshot() -> dict[str, int]:
+    """A copy of every process-wide counter's current value."""
+    with _counters_lock:
+        return dict(_counters)
+
+
+def reset_counters() -> None:
+    """Zero every process-wide counter (tests and long-lived services)."""
+    with _counters_lock:
+        _counters.clear()
+
+
+def merge_counters(delta: dict[str, int]) -> None:
+    """Fold a counter snapshot from another process into this one.
+
+    The chunked compressor uses this to pull worker-process counters
+    back into the parent, so a traced parallel compression accounts for
+    the AES/zlib/decoder work its workers did.
+    """
+    count_many(delta)
+
+
+# ----------------------------------------------------------------------
+# Spans
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class Span:
+    """One timed operation in the trace tree.
+
+    ``start`` is seconds since the owning tracer's creation (spans
+    merged from worker processes keep their *worker-relative* starts —
+    see docs/OBSERVABILITY.md).  ``bytes_in`` / ``bytes_out`` are the
+    operation's byte flow where meaningful, ``None`` where not.
+    """
+
+    name: str
+    start: float = 0.0
+    seconds: float = 0.0
+    bytes_in: int | None = None
+    bytes_out: int | None = None
+    attrs: dict = field(default_factory=dict)
+    children: list["Span"] = field(default_factory=list)
+
+    def annotate(self, **attrs) -> None:
+        """Attach ``key=value`` attributes (JSON scalars) to the span."""
+        self.attrs.update(attrs)
+
+    def to_dict(self) -> dict:
+        """The span subtree as the documented JSON structure."""
+        return {
+            "name": self.name,
+            "start": self.start,
+            "seconds": self.seconds,
+            "bytes_in": self.bytes_in,
+            "bytes_out": self.bytes_out,
+            "attrs": dict(self.attrs),
+            "children": [c.to_dict() for c in self.children],
+        }
+
+    def walk(self):
+        """Yield this span and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+def span_from_dict(data: dict) -> Span:
+    """Rebuild a :class:`Span` tree from :meth:`Span.to_dict` output."""
+    _validate_span(data, path="span")
+    return _span_from_checked(data)
+
+
+def _span_from_checked(data: dict) -> Span:
+    return Span(
+        name=data["name"],
+        start=float(data["start"]),
+        seconds=float(data["seconds"]),
+        bytes_in=data.get("bytes_in"),
+        bytes_out=data.get("bytes_out"),
+        attrs=dict(data.get("attrs", {})),
+        children=[_span_from_checked(c) for c in data.get("children", [])],
+    )
+
+
+class _NullSpan:
+    """Span stand-in for disabled tracers: swallows all annotation."""
+
+    __slots__ = ()
+
+    def annotate(self, **attrs) -> None:
+        pass
+
+    def __setattr__(self, name, value) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _NoopContext:
+    """Reusable no-op context manager (disabled span, nothing to do)."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return _NULL_SPAN
+
+    def __exit__(self, *exc):
+        return False
+
+
+_NOOP_CONTEXT = _NoopContext()
+
+
+class _MirrorScope:
+    """Disabled structural span that still scopes a mirror dict."""
+
+    __slots__ = ("_tracer", "_mirror")
+
+    def __init__(self, tracer: "Tracer", mirror: dict) -> None:
+        self._tracer = tracer
+        self._mirror = mirror
+
+    def __enter__(self):
+        self._tracer._mirror_stack().append(self._mirror)
+        return _NULL_SPAN
+
+    def __exit__(self, *exc):
+        self._tracer._mirror_stack().pop()
+        return False
+
+
+class _MirrorStage:
+    """Disabled stage span: times the block, accumulates into the
+    active mirror dict, builds no Span objects."""
+
+    __slots__ = ("_tracer", "_name", "_t0")
+
+    def __init__(self, tracer: "Tracer", name: str) -> None:
+        self._tracer = tracer
+        self._name = name
+
+    def __enter__(self):
+        self._t0 = time.perf_counter()
+        return _NULL_SPAN
+
+    def __exit__(self, *exc):
+        dt = time.perf_counter() - self._t0
+        mirror = self._tracer._active_mirror()
+        if mirror is not None:
+            mirror[self._name] = mirror.get(self._name, 0.0) + dt
+        return False
+
+
+class _ActiveSpan:
+    """Context manager recording one enabled span."""
+
+    __slots__ = ("_tracer", "span", "_mirror", "_is_stage", "_t0")
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        span: Span,
+        mirror: dict | None,
+        is_stage: bool,
+    ) -> None:
+        self._tracer = tracer
+        self.span = span
+        self._mirror = mirror
+        self._is_stage = is_stage
+
+    def __enter__(self) -> Span:
+        tracer = self._tracer
+        tracer._span_stack().append(self.span)
+        if self._mirror is not None:
+            tracer._mirror_stack().append(self._mirror)
+        self._t0 = time.perf_counter()
+        self.span.start = self._t0 - tracer._epoch
+        return self.span
+
+    def __exit__(self, *exc):
+        dt = time.perf_counter() - self._t0
+        tracer = self._tracer
+        span = self.span
+        span.seconds = dt
+        stack = tracer._span_stack()
+        stack.pop()
+        if self._mirror is not None:
+            tracer._mirror_stack().pop()
+        if self._is_stage:
+            mirror = tracer._active_mirror()
+            if mirror is not None:
+                mirror[span.name] = mirror.get(span.name, 0.0) + dt
+        if stack:
+            stack[-1].children.append(span)
+        else:
+            with tracer._lock:
+                tracer.roots.append(span)
+        return False
+
+
+# ----------------------------------------------------------------------
+# Tracer
+# ----------------------------------------------------------------------
+
+
+class Tracer:
+    """Records a tree of :class:`Span` objects (when enabled) and
+    mirrors *stage* durations into flat ``{stage: seconds}`` dicts.
+
+    Parameters
+    ----------
+    enabled:
+        When False, :meth:`span` / :meth:`stage` skip all span
+        bookkeeping; stages still time themselves into the active
+        mirror, which is how the legacy ``StageTimes`` contract keeps
+        working at (near) its original cost.
+    mirror:
+        Optional base mirror dict used when no span has scoped one.
+        :func:`tracer_for` uses this to adapt a plain ``StageTimes``.
+
+    Thread safety: every thread has its own open-span stack (spans
+    opened on one thread nest under that thread's spans only), and
+    completed top-level spans append to :attr:`roots` under a lock, so
+    worker threads may record into one shared tracer concurrently.
+    """
+
+    def __init__(self, enabled: bool = True, mirror: dict | None = None) -> None:
+        self.enabled = enabled
+        self._base_mirror = mirror
+        self._epoch = time.perf_counter()
+        self._tls = threading.local()
+        self._lock = threading.Lock()
+        self.roots: list[Span] = []
+        self._counters0 = counters_snapshot() if enabled else {}
+
+    # -- per-thread state ----------------------------------------------
+
+    def _span_stack(self) -> list[Span]:
+        stack = getattr(self._tls, "spans", None)
+        if stack is None:
+            stack = self._tls.spans = []
+        return stack
+
+    def _mirror_stack(self) -> list[dict]:
+        stack = getattr(self._tls, "mirrors", None)
+        if stack is None:
+            stack = self._tls.mirrors = []
+        return stack
+
+    def _active_mirror(self) -> dict | None:
+        stack = getattr(self._tls, "mirrors", None)
+        if stack:
+            return stack[-1]
+        return self._base_mirror
+
+    # -- recording ------------------------------------------------------
+
+    def span(self, name: str, *, bytes_in: int | None = None,
+             mirror: dict | None = None, **attrs):
+        """Open a *structural* span (returns a context manager yielding
+        the :class:`Span`).
+
+        ``mirror``, when given, scopes a ``{stage: seconds}`` dict:
+        every :meth:`stage` recorded while this span is open (and no
+        inner mirror shadows it) accumulates there.
+        """
+        if not self.enabled:
+            if mirror is not None:
+                return _MirrorScope(self, mirror)
+            return _NOOP_CONTEXT
+        span = Span(name=name, bytes_in=bytes_in, attrs=dict(attrs))
+        return _ActiveSpan(self, span, mirror, is_stage=False)
+
+    def stage(self, name: str, *, bytes_in: int | None = None, **attrs):
+        """Open a *stage* span: like :meth:`span`, but its duration also
+        accumulates into the active mirror under ``name`` — the exact
+        keys ``StageTimes`` always carried (``quantize``, ``encrypt``,
+        ``lossless``, ...)."""
+        if not self.enabled:
+            return _MirrorStage(self, name)
+        span = Span(name=name, bytes_in=bytes_in, attrs=dict(attrs))
+        return _ActiveSpan(self, span, None, is_stage=True)
+
+    def attach(self, span: Span | dict) -> None:
+        """Graft an externally recorded span tree into the current
+        position (thread-safe) — e.g. a worker process's exported trace.
+        No-op on disabled tracers."""
+        if not self.enabled:
+            return
+        if isinstance(span, dict):
+            span = span_from_dict(span)
+        stack = self._span_stack()
+        if stack:
+            stack[-1].children.append(span)
+        else:
+            with self._lock:
+                self.roots.append(span)
+
+    # -- export ---------------------------------------------------------
+
+    def export(self) -> dict:
+        """The complete ``repro-trace/1`` document.
+
+        ``counters`` holds the *change* in every process-wide counter
+        since this tracer was created — what the traced operations did,
+        not the process's lifetime totals.
+        """
+        now = counters_snapshot()
+        delta = {
+            name: now[name] - self._counters0.get(name, 0)
+            for name in sorted(now)
+            if now[name] != self._counters0.get(name, 0)
+        }
+        with self._lock:
+            roots = [span.to_dict() for span in self.roots]
+        return {"schema": SCHEMA, "roots": roots, "counters": delta}
+
+
+#: Shared disabled tracer: the default for every untraced call.
+NULL_TRACER = Tracer(enabled=False)
+
+
+def tracer_for(obj) -> Tracer:
+    """Adapt ``obj`` to a :class:`Tracer` (the compatibility shim).
+
+    * ``None`` → the shared disabled tracer;
+    * a :class:`Tracer` → itself;
+    * a ``StageTimes`` (anything with a dict ``.seconds``) → a disabled
+      tracer mirroring stage durations into that dict, so every caller
+      that used to pass ``StageTimes`` keeps working unchanged;
+    * a plain dict → a disabled tracer mirroring into it.
+    """
+    if obj is None:
+        return NULL_TRACER
+    if isinstance(obj, Tracer):
+        return obj
+    seconds = getattr(obj, "seconds", None)
+    if isinstance(seconds, dict):
+        return Tracer(enabled=False, mirror=seconds)
+    if isinstance(obj, dict):
+        return Tracer(enabled=False, mirror=obj)
+    raise TypeError(
+        f"cannot adapt {type(obj).__name__!r} to a Tracer: expected None, "
+        "a Tracer, a StageTimes, or a dict"
+    )
+
+
+# ----------------------------------------------------------------------
+# Exporters / validation
+# ----------------------------------------------------------------------
+
+
+def _span_args(span: dict) -> dict:
+    args = {}
+    if span["bytes_in"] is not None:
+        args["bytes_in"] = span["bytes_in"]
+    if span["bytes_out"] is not None:
+        args["bytes_out"] = span["bytes_out"]
+    args.update(span["attrs"])
+    return args
+
+
+def chrome_trace(doc: "dict | Tracer") -> dict:
+    """Convert a trace document to Chrome trace-event format.
+
+    The result (``{"traceEvents": [...]}``) loads directly into
+    ``chrome://tracing`` or https://ui.perfetto.dev.  Every root span
+    gets its own ``tid`` row so parallel slabs stack visually.
+    """
+    if isinstance(doc, Tracer):
+        doc = doc.export()
+    validate(doc)
+    events: list[dict] = []
+
+    def walk(span: dict, tid: int) -> None:
+        events.append({
+            "name": span["name"],
+            "cat": "repro",
+            "ph": "X",
+            "pid": 0,
+            "tid": tid,
+            "ts": round(span["start"] * 1e6, 3),
+            "dur": round(span["seconds"] * 1e6, 3),
+            "args": _span_args(span),
+        })
+        for child in span["children"]:
+            walk(child, tid)
+
+    for tid, root in enumerate(doc["roots"]):
+        walk(root, tid)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def format_tree(doc: "dict | Tracer", *, max_attrs: int = 6) -> str:
+    """Human-readable rendering of a trace document (``secz trace``)."""
+    if isinstance(doc, Tracer):
+        doc = doc.export()
+    validate(doc)
+    lines: list[str] = []
+
+    def walk(span: dict, depth: int) -> None:
+        label = "  " * depth + span["name"]
+        cell = f"{label:<34s} {span['seconds'] * 1e3:9.3f} ms"
+        flow = []
+        if span["bytes_in"] is not None:
+            flow.append(f"{span['bytes_in']:,} B in")
+        if span["bytes_out"] is not None:
+            flow.append(f"{span['bytes_out']:,} B out")
+        if flow:
+            cell += "   " + " -> ".join(flow)
+        attrs = list(span["attrs"].items())[:max_attrs]
+        if attrs:
+            cell += "   " + " ".join(f"{k}={v}" for k, v in attrs)
+        lines.append(cell)
+        for child in span["children"]:
+            walk(child, depth + 1)
+
+    for root in doc["roots"]:
+        walk(root, 0)
+    if doc["counters"]:
+        lines.append("")
+        lines.append("counters:")
+        width = max(len(name) for name in doc["counters"])
+        for name, value in doc["counters"].items():
+            lines.append(f"  {name:<{width}s}  {value:,}")
+    return "\n".join(lines)
+
+
+def _fail(path: str, message: str):
+    raise ValueError(f"invalid trace document at {path}: {message}")
+
+
+def _validate_span(span, path: str) -> None:
+    if not isinstance(span, dict):
+        _fail(path, "span must be an object")
+    required = ("name", "start", "seconds", "attrs", "children")
+    for key in required:
+        if key not in span:
+            _fail(path, f"missing required key {key!r}")
+    if not isinstance(span["name"], str) or not span["name"]:
+        _fail(path, "name must be a non-empty string")
+    for key in ("start", "seconds"):
+        value = span[key]
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            _fail(path, f"{key} must be a number")
+        if value < 0:
+            _fail(path, f"{key} must be non-negative")
+    for key in ("bytes_in", "bytes_out"):
+        value = span.get(key)
+        if value is None:
+            continue
+        if isinstance(value, bool) or not isinstance(value, int):
+            _fail(path, f"{key} must be an integer or null")
+        if value < 0:
+            _fail(path, f"{key} must be non-negative")
+    if not isinstance(span["attrs"], dict):
+        _fail(path, "attrs must be an object")
+    for key, value in span["attrs"].items():
+        if not isinstance(key, str):
+            _fail(path, "attrs keys must be strings")
+        if not isinstance(value, _JSON_SCALARS):
+            _fail(path, f"attrs[{key!r}] must be a JSON scalar")
+    if not isinstance(span["children"], list):
+        _fail(path, "children must be a list")
+    for i, child in enumerate(span["children"]):
+        _validate_span(child, f"{path}.children[{i}]")
+
+
+def validate(doc: dict) -> dict:
+    """Check ``doc`` against the documented ``repro-trace/1`` schema.
+
+    Returns the document unchanged; raises :class:`ValueError` naming
+    the offending path otherwise.  docs/OBSERVABILITY.md is the prose
+    version of these rules.
+    """
+    if not isinstance(doc, dict):
+        raise ValueError("invalid trace document: not an object")
+    if doc.get("schema") != SCHEMA:
+        raise ValueError(
+            f"invalid trace document: schema must be {SCHEMA!r}, "
+            f"got {doc.get('schema')!r}"
+        )
+    if not isinstance(doc.get("roots"), list):
+        raise ValueError("invalid trace document: roots must be a list")
+    for i, root in enumerate(doc["roots"]):
+        _validate_span(root, f"roots[{i}]")
+    counters = doc.get("counters")
+    if not isinstance(counters, dict):
+        raise ValueError("invalid trace document: counters must be an object")
+    for name, value in counters.items():
+        if not isinstance(name, str):
+            raise ValueError("invalid trace document: counter names must be strings")
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise ValueError(
+                f"invalid trace document: counter {name!r} must be an integer"
+            )
+    return doc

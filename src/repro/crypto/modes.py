@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core import trace
 from repro.crypto import batch
 from repro.crypto.block import BLOCK_BYTES, encrypt_block
 from repro.crypto.keyschedule import ExpandedKey
@@ -67,6 +68,7 @@ def cbc_encrypt(plaintext: bytes, key: ExpandedKey, iv: bytes) -> bytes:
     if len(iv) != BLOCK_BYTES:
         raise ValueError(f"IV must be 16 bytes, got {len(iv)}")
     padded = pkcs7_pad(plaintext)
+    trace.count("aes.blocks_encrypted", len(padded) // BLOCK_BYTES)
     out = bytearray(len(padded))
     prev = int.from_bytes(iv, "big")
     for off in range(0, len(padded), BLOCK_BYTES):
@@ -84,6 +86,7 @@ def cbc_decrypt(ciphertext: bytes, key: ExpandedKey, iv: bytes) -> bytes:
     if not ciphertext or len(ciphertext) % BLOCK_BYTES != 0:
         raise ValueError("ciphertext must be a positive multiple of 16 bytes")
     blocks = batch.to_blocks(ciphertext)
+    trace.count("aes.blocks_decrypted", len(ciphertext) // BLOCK_BYTES)
     decrypted = batch.decrypt_blocks(blocks, key)
     # P_i = D(C_i) xor C_{i-1}; block 0 XORs the IV.
     chain = np.empty_like(blocks)
@@ -107,6 +110,7 @@ def _counter_blocks(nonce: bytes, n_blocks: int, initial: int = 0) -> np.ndarray
 def ctr_keystream(key: ExpandedKey, nonce: bytes, n_bytes: int) -> np.ndarray:
     """Generate ``n_bytes`` of CTR keystream in one batched encryption."""
     n_blocks = (n_bytes + BLOCK_BYTES - 1) // BLOCK_BYTES
+    trace.count("aes.blocks_keystream", n_blocks)
     stream = batch.encrypt_blocks(_counter_blocks(nonce, n_blocks), key)
     return stream.reshape(-1)[:n_bytes]
 

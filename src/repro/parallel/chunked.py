@@ -21,6 +21,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core import trace
 from repro.core.pipeline import SecureCompressor
 
 __all__ = ["ChunkedSecureCompressor"]
@@ -55,18 +56,28 @@ class _Config:
         )
 
 
-def _compress_slab(args: tuple[_Config, bytes, tuple[int, ...], str, int]) -> bytes:
-    config, raw, shape, dtype, seed = args
+def _compress_slab(
+    args: tuple[_Config, bytes, tuple[int, ...], str, int, bool]
+) -> tuple[bytes, dict | None]:
+    config, raw, shape, dtype, seed, want_trace = args
     slab = np.frombuffer(raw, dtype=dtype).reshape(shape)
-    return config.build(seed).compress(slab).container
+    tr = trace.Tracer() if want_trace else None
+    container = config.build(seed).compress(slab, tracer=tr).container
+    return container, (tr.export() if tr is not None else None)
 
 
 def _decompress_slab(
-    args: tuple[_Config, bytes]
-) -> tuple[bytes, tuple[int, ...], str]:
-    config, container = args
-    out = config.build().decompress(container)
-    return np.ascontiguousarray(out).tobytes(), out.shape, out.dtype.str
+    args: tuple[_Config, bytes, bool]
+) -> tuple[bytes, tuple[int, ...], str, dict | None]:
+    config, container, want_trace = args
+    tr = trace.Tracer() if want_trace else None
+    out = config.build().decompress(container, tracer=tr)
+    return (
+        np.ascontiguousarray(out).tobytes(),
+        out.shape,
+        out.dtype.str,
+        tr.export() if tr is not None else None,
+    )
 
 
 class ChunkedSecureCompressor:
@@ -125,8 +136,18 @@ class ChunkedSecureCompressor:
             )
         return np.array_split(data, self.n_chunks, axis=0)
 
-    def compress(self, data: np.ndarray) -> bytes:
-        """Compress ``data`` slab-parallel into a SECM multi-container."""
+    def compress(
+        self, data: np.ndarray, *, tracer: trace.Tracer | None = None
+    ) -> bytes:
+        """Compress ``data`` slab-parallel into a SECM multi-container.
+
+        With an enabled ``tracer``, each worker records its own span
+        tree; the parent grafts every slab's spans under one
+        ``chunked.compress`` span (thread/process-safe: workers trace
+        into private tracers, the graft happens here) and folds
+        worker-process counters into this process's totals.
+        """
+        tr = trace.tracer_for(tracer)
         data = np.ascontiguousarray(data)
         slabs = self._slabs(data)
         jobs = [
@@ -136,20 +157,58 @@ class ChunkedSecureCompressor:
                 slab.shape,
                 slab.dtype.str,
                 (self.base_seed + i) if self.base_seed is not None else None,
+                tr.enabled,
             )
             for i, slab in enumerate(slabs)
         ]
-        if self.n_workers == 1:
-            containers = [_compress_slab(job) for job in jobs]
-        else:
-            with ProcessPoolExecutor(max_workers=self.n_workers) as pool:
-                containers = list(pool.map(_compress_slab, jobs))
-        head = _HEADER.pack(_MAGIC, len(containers))
-        lengths = struct.pack(f"<{len(containers)}Q", *map(len, containers))
-        return head + lengths + b"".join(containers)
+        with tr.span("chunked.compress", bytes_in=data.nbytes,
+                     n_chunks=self.n_chunks,
+                     n_workers=self.n_workers) as root:
+            pooled = self.n_workers > 1
+            if pooled:
+                with ProcessPoolExecutor(max_workers=self.n_workers) as pool:
+                    results = list(pool.map(_compress_slab, jobs))
+            else:
+                results = [_compress_slab(job) for job in jobs]
+            containers = [container for container, _ in results]
+            self._graft_slab_traces(
+                tr, (doc for _, doc in results), pooled
+            )
+            head = _HEADER.pack(_MAGIC, len(containers))
+            lengths = struct.pack(
+                f"<{len(containers)}Q", *map(len, containers)
+            )
+            blob = head + lengths + b"".join(containers)
+            root.bytes_out = len(blob)
+        return blob
 
-    def decompress(self, blob: bytes) -> np.ndarray:
+    @staticmethod
+    def _graft_slab_traces(tr: trace.Tracer, docs, pooled: bool) -> None:
+        """Attach each worker's exported spans as ``slab`` children.
+
+        Worker-process counter deltas only merge when a pool actually
+        ran the slab — the in-process path already counted into this
+        process's globals, and merging again would double-count.
+        """
+        if not tr.enabled:
+            return
+        for i, doc in enumerate(docs):
+            if doc is None:
+                continue
+            wrapper = trace.Span(name="slab", attrs={"index": i})
+            for root in doc["roots"]:
+                child = trace.span_from_dict(root)
+                wrapper.children.append(child)
+                wrapper.seconds += child.seconds
+            tr.attach(wrapper)
+            if pooled:
+                trace.merge_counters(doc["counters"])
+
+    def decompress(
+        self, blob: bytes, *, tracer: trace.Tracer | None = None
+    ) -> np.ndarray:
         """Invert :meth:`compress`, reassembling the slabs in order."""
+        tr = trace.tracer_for(tracer)
         if len(blob) < _HEADER.size:
             raise ValueError("multi-chunk blob shorter than its header")
         magic, n_chunks = _HEADER.unpack_from(blob)
@@ -168,14 +227,23 @@ class ChunkedSecureCompressor:
             offset += length
         if offset != len(blob):
             raise ValueError("trailing bytes after multi-chunk payload")
-        jobs = [(self._config, c) for c in containers]
-        if self.n_workers == 1:
-            raw = [_decompress_slab(job) for job in jobs]
-        else:
-            with ProcessPoolExecutor(max_workers=self.n_workers) as pool:
-                raw = list(pool.map(_decompress_slab, jobs))
-        slabs = [
-            np.frombuffer(chunk, dtype=dtype).reshape(shape)
-            for chunk, shape, dtype in raw
-        ]
-        return np.concatenate(slabs, axis=0)
+        jobs = [(self._config, c, tr.enabled) for c in containers]
+        with tr.span("chunked.decompress", bytes_in=len(blob),
+                     n_chunks=len(containers),
+                     n_workers=self.n_workers) as root:
+            pooled = self.n_workers > 1
+            if pooled:
+                with ProcessPoolExecutor(max_workers=self.n_workers) as pool:
+                    raw = list(pool.map(_decompress_slab, jobs))
+            else:
+                raw = [_decompress_slab(job) for job in jobs]
+            self._graft_slab_traces(
+                tr, (doc for _, _, _, doc in raw), pooled
+            )
+            slabs = [
+                np.frombuffer(chunk, dtype=dtype).reshape(shape)
+                for chunk, shape, dtype, _ in raw
+            ]
+            out = np.concatenate(slabs, axis=0)
+            root.bytes_out = out.nbytes
+        return out

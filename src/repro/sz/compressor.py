@@ -27,11 +27,11 @@ Tables III–V overhead studies.
 from __future__ import annotations
 
 import struct
-import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core import trace
 from repro.sz import fastdecode, huffman, ieee754, intcodec, predictors, quantizer
 from repro.sz.bitstream import PackedBits, concat_streams
 from repro.sz.quantizer import ErrorBound
@@ -197,8 +197,15 @@ class SZCompressor:
     # Compression
     # ------------------------------------------------------------------
 
-    def compress(self, data: np.ndarray) -> SZFrame:
-        """Run predict → quantize → Huffman and return the frame."""
+    def compress(
+        self, data: np.ndarray, tracer: trace.Tracer | None = None
+    ) -> SZFrame:
+        """Run predict → quantize → Huffman and return the frame.
+
+        ``tracer``, when given, records a ``sz.compress`` span tree;
+        stage times land in ``CompressionStats.stage_seconds`` either
+        way.
+        """
         data = np.ascontiguousarray(data)
         if data.dtype not in _DTYPE_CODES:
             raise TypeError(f"unsupported dtype {data.dtype}; use float32/float64")
@@ -208,71 +215,99 @@ class SZCompressor:
             raise ValueError("cannot compress an empty array")
         stage_seconds: dict[str, float] = {}
         out_dtype = data.dtype
+        tr = trace.tracer_for(tracer)
 
-        t0 = time.perf_counter()
-        eb = self.error_bound.resolve(data)
-        if self.error_bound.mode == "pw_rel":
-            work, aux_bytes = _pwrel_forward(data)
-        else:
-            work, aux_bytes = data, b""
-        q, exact_idx = quantizer.grid_quantize_verified(work, eb)
-        stage_seconds["quantize"] = time.perf_counter() - t0
-        data = work
+        with tr.span("sz.compress", bytes_in=data.nbytes,
+                     mirror=stage_seconds) as sz_span:
+            with tr.stage("quantize", bytes_in=data.nbytes):
+                eb = self.error_bound.resolve(data)
+                if self.error_bound.mode == "pw_rel":
+                    work, aux_bytes = _pwrel_forward(data)
+                else:
+                    work, aux_bytes = data, b""
+                q, exact_idx = quantizer.grid_quantize_verified(work, eb)
+            data = work
 
-        t0 = time.perf_counter()
-        predictor_name, residuals, model, modal = self._predict(q)
-        radius = quantizer.choose_radius(residuals, coverage=self.coverage)
-        codes, unpred_mask = quantizer.codes_from_residuals(residuals, radius)
-        stage_seconds["predict"] = time.perf_counter() - t0
+            with tr.stage("predict") as sp:
+                predictor_name, residuals, model, modal = self._predict(q)
+                radius = quantizer.choose_radius(
+                    residuals, coverage=self.coverage
+                )
+                codes, unpred_mask = quantizer.codes_from_residuals(
+                    residuals, radius
+                )
+                sp.annotate(predictor=predictor_name, radius=radius)
 
-        t0 = time.perf_counter()
-        flat_codes = np.ravel(codes)
-        symbols, inverse, counts = np.unique(
-            flat_codes, return_inverse=True, return_counts=True
-        )
-        code = huffman.build_code(symbols, counts)
-        stage_seconds["huffman_build"] = time.perf_counter() - t0
+            with tr.stage("huffman_build") as sp:
+                flat_codes = np.ravel(codes)
+                symbols, inverse, counts = np.unique(
+                    flat_codes, return_inverse=True, return_counts=True
+                )
+                code = huffman.build_code(symbols, counts)
+                sp.annotate(n_symbols=int(symbols.size))
 
-        t0 = time.perf_counter()
-        total_bits = int((counts * code.lengths.astype(np.int64)).sum())
-        auto_format = self.huffman_lanes == "auto" and self.anchor_stride == "auto"
-        if auto_format and total_bits < huffman.LANE_FORMAT_MIN_BITS:
-            # Small coded payload: the lane/anchor table would be a
-            # visible overhead and the kernel gains nothing, so emit
-            # the legacy v2 single-stream frame (byte-identical to the
-            # pre-lane format, and still decoded by every reader).
-            packed = huffman.encode(flat_codes, code)
-            tree_bytes = huffman.serialize_tree(code)
-            codes_bytes = packed.data
-            n_code_bits = packed.n_bits
-            frame_version = 2
-        else:
-            n_lanes, stride = self._lane_params(flat_codes.size, total_bits)
-            enc = huffman.encode_lanes(flat_codes, code, n_lanes, stride)
-            tree_bytes = huffman.serialize_lane_tree(code, enc.table)
-            codes_bytes = concat_streams(list(enc.lanes))
-            n_code_bits = enc.n_bits
-            frame_version = 3
-        stage_seconds["huffman_encode"] = time.perf_counter() - t0
+            with tr.stage("huffman_encode") as sp:
+                total_bits = int(
+                    (counts * code.lengths.astype(np.int64)).sum()
+                )
+                auto_format = (self.huffman_lanes == "auto"
+                               and self.anchor_stride == "auto")
+                if auto_format and total_bits < huffman.LANE_FORMAT_MIN_BITS:
+                    # Small coded payload: the lane/anchor table would
+                    # be a visible overhead and the kernel gains
+                    # nothing, so emit the legacy v2 single-stream
+                    # frame (byte-identical to the pre-lane format, and
+                    # still decoded by every reader).
+                    packed = huffman.encode(flat_codes, code)
+                    tree_bytes = huffman.serialize_tree(code)
+                    codes_bytes = packed.data
+                    n_code_bits = packed.n_bits
+                    frame_version = 2
+                    sp.annotate(frame_version=2, lanes=1)
+                else:
+                    n_lanes, stride = self._lane_params(
+                        flat_codes.size, total_bits
+                    )
+                    enc = huffman.encode_lanes(
+                        flat_codes, code, n_lanes, stride
+                    )
+                    tree_bytes = huffman.serialize_lane_tree(code, enc.table)
+                    codes_bytes = concat_streams(list(enc.lanes))
+                    n_code_bits = enc.n_bits
+                    frame_version = 3
+                    sp.annotate(frame_version=3, lanes=n_lanes,
+                                anchor_stride=stride)
+                sp.bytes_out = len(codes_bytes)
 
-        t0 = time.perf_counter()
-        # Channel format per predictor: the Lorenzo chain is inverted
-        # by cumulative sums, which need a residual at *every* point,
-        # so Lorenzo stores the out-of-range residual integers.  The
-        # mean/regression predictors decode pointwise, so unpredictable
-        # points are stored as verbatim floats (SZ-1.4's representation)
-        # and scattered straight into the output.
-        if predictor_name == "lorenzo":
-            unpred_bytes = intcodec.byteplane_encode(residuals[unpred_mask])
-        else:
-            unpred_bytes = ieee754.ieee754_encode(data[unpred_mask])
-        coeff_bytes = (
-            ieee754.ieee754_encode(model.coefficients)
-            if model is not None
-            else b""
-        )
-        exact_bytes = _pack_exact(exact_idx, np.ravel(data)[exact_idx])
-        stage_seconds["side_channels"] = time.perf_counter() - t0
+            with tr.stage("side_channels") as sp:
+                # Channel format per predictor: the Lorenzo chain is
+                # inverted by cumulative sums, which need a residual at
+                # *every* point, so Lorenzo stores the out-of-range
+                # residual integers.  The mean/regression predictors
+                # decode pointwise, so unpredictable points are stored
+                # as verbatim floats (SZ-1.4's representation) and
+                # scattered straight into the output.
+                if predictor_name == "lorenzo":
+                    unpred_bytes = intcodec.byteplane_encode(
+                        residuals[unpred_mask]
+                    )
+                else:
+                    unpred_bytes = ieee754.ieee754_encode(data[unpred_mask])
+                coeff_bytes = (
+                    ieee754.ieee754_encode(model.coefficients)
+                    if model is not None
+                    else b""
+                )
+                exact_bytes = _pack_exact(
+                    exact_idx, np.ravel(data)[exact_idx]
+                )
+                sp.bytes_out = len(unpred_bytes) + len(coeff_bytes) + len(
+                    exact_bytes
+                )
+            sz_span.bytes_out = (
+                len(tree_bytes) + len(codes_bytes) + len(unpred_bytes)
+                + len(coeff_bytes) + len(exact_bytes) + len(aux_bytes)
+            )
 
         meta = self._pack_meta(
             data, out_dtype, eb, predictor_name, radius, modal, n_code_bits,
@@ -404,75 +439,90 @@ class SZCompressor:
         }
 
     def decompress(self, frame: SZFrame,
-                   stage_seconds: dict[str, float] | None = None) -> np.ndarray:
+                   stage_seconds: dict[str, float] | None = None,
+                   tracer: trace.Tracer | None = None) -> np.ndarray:
         """Invert :meth:`compress`; returns the error-bounded field.
 
         ``stage_seconds``, when given, receives per-stage wall times
         (``huffman_decode`` and ``reconstruct``) for the bandwidth and
-        breakdown experiments.
+        breakdown experiments.  ``tracer`` additionally records a
+        ``sz.decompress`` span tree.
         """
         times = stage_seconds if stage_seconds is not None else {}
+        tr = trace.tracer_for(tracer)
         info = self.parse_meta(frame.sections["meta"])
         shape = info["shape"]
         n_elements = int(np.prod(shape))
 
-        t0 = time.perf_counter()
-        if info["version"] >= 3:
-            code, lane_table = huffman.deserialize_lane_tree(
-                frame.sections["tree"], n_elements
-            )
-            if int(lane_table.lane_bits.sum()) != info["n_bits"]:
-                raise ValueError("lane table bit count does not match meta")
-            flat_codes = fastdecode.decode_lanes(
-                frame.sections["codes"], code, lane_table, n_elements
-            )
-        else:
-            # v2: single-stream codes + bare tree (legacy scalar decode).
-            code = huffman.deserialize_tree(frame.sections["tree"])
-            packed = PackedBits(
-                data=frame.sections["codes"], n_bits=info["n_bits"]
-            )
-            flat_codes = huffman.decode(packed, code, n_elements)
-        times["huffman_decode"] = times.get("huffman_decode", 0.0) + (
-            time.perf_counter() - t0
-        )
-        t0 = time.perf_counter()
+        with tr.span("sz.decompress", mirror=times,
+                     frame_version=info["version"],
+                     predictor=info["predictor"]) as dz_span:
+            with tr.stage("huffman_decode",
+                          bytes_in=len(frame.sections["codes"])) as sp:
+                if info["version"] >= 3:
+                    code, lane_table = huffman.deserialize_lane_tree(
+                        frame.sections["tree"], n_elements
+                    )
+                    if int(lane_table.lane_bits.sum()) != info["n_bits"]:
+                        raise ValueError(
+                            "lane table bit count does not match meta"
+                        )
+                    flat_codes = fastdecode.decode_lanes(
+                        frame.sections["codes"], code, lane_table, n_elements
+                    )
+                    sp.annotate(lanes=int(lane_table.lane_bits.size))
+                else:
+                    # v2: single-stream codes + bare tree (legacy
+                    # scalar decode).
+                    code = huffman.deserialize_tree(frame.sections["tree"])
+                    packed = PackedBits(
+                        data=frame.sections["codes"], n_bits=info["n_bits"]
+                    )
+                    flat_codes = huffman.decode(packed, code, n_elements)
+                    sp.annotate(lanes=1)
 
-        work_dtype = np.dtype(np.float64) if info["pw_rel"] else info["dtype"]
-        name = info["predictor"]
-        n_unpred = info["n_unpredictable"]
-        if name == "lorenzo":
-            unpred_res = intcodec.byteplane_decode(frame.sections["unpred"])
-            verbatim = None
-        else:
-            unpred_res = np.zeros(n_unpred, dtype=np.int64)  # placeholder
-            verbatim = ieee754.ieee754_decode(frame.sections["unpred"])
-            if verbatim.dtype != work_dtype:
-                verbatim = verbatim.astype(work_dtype)
-        if (verbatim.size if verbatim is not None else unpred_res.size) != n_unpred:
-            raise ValueError("unpredictable channel does not match meta")
-        residuals = quantizer.residuals_from_codes(
-            flat_codes, info["radius"], unpred_res
-        ).reshape(shape)
+            with tr.stage("reconstruct"):
+                work_dtype = (np.dtype(np.float64) if info["pw_rel"]
+                              else info["dtype"])
+                name = info["predictor"]
+                n_unpred = info["n_unpredictable"]
+                if name == "lorenzo":
+                    unpred_res = intcodec.byteplane_decode(
+                        frame.sections["unpred"]
+                    )
+                    verbatim = None
+                else:
+                    unpred_res = np.zeros(n_unpred, dtype=np.int64)  # placeholder
+                    verbatim = ieee754.ieee754_decode(
+                        frame.sections["unpred"]
+                    )
+                    if verbatim.dtype != work_dtype:
+                        verbatim = verbatim.astype(work_dtype)
+                if (verbatim.size if verbatim is not None
+                        else unpred_res.size) != n_unpred:
+                    raise ValueError(
+                        "unpredictable channel does not match meta"
+                    )
+                residuals = quantizer.residuals_from_codes(
+                    flat_codes, info["radius"], unpred_res
+                ).reshape(shape)
 
-        if name == "lorenzo":
-            q = predictors.lorenzo_reconstruct(residuals)
-        elif name == "mean":
-            q = predictors.mean_reconstruct(residuals, info["modal"])
-        else:  # regression
-            coefs = ieee754.ieee754_decode(frame.sections["coeffs"])
-            model = predictors.RegressionModel(
-                shape=shape,
-                block_size=info["block_size"],
-                coefficients=coefs.reshape(-1, len(shape) + 1),
-            )
-            q = residuals + predictors.regression_predict(model)
-        out = quantizer.grid_reconstruct(q, info["eb"], work_dtype)
-        if verbatim is not None and n_unpred:
-            out.reshape(-1)[np.ravel(flat_codes == 0)] = verbatim
-        times["reconstruct"] = times.get("reconstruct", 0.0) + (
-            time.perf_counter() - t0
-        )
+                if name == "lorenzo":
+                    q = predictors.lorenzo_reconstruct(residuals)
+                elif name == "mean":
+                    q = predictors.mean_reconstruct(residuals, info["modal"])
+                else:  # regression
+                    coefs = ieee754.ieee754_decode(frame.sections["coeffs"])
+                    model = predictors.RegressionModel(
+                        shape=shape,
+                        block_size=info["block_size"],
+                        coefficients=coefs.reshape(-1, len(shape) + 1),
+                    )
+                    q = residuals + predictors.regression_predict(model)
+                out = quantizer.grid_reconstruct(q, info["eb"], work_dtype)
+                if verbatim is not None and n_unpred:
+                    out.reshape(-1)[np.ravel(flat_codes == 0)] = verbatim
+            dz_span.bytes_out = out.nbytes
         exact_idx, exact_vals = _unpack_exact(frame.sections["exact"], work_dtype)
         if exact_idx.size:
             if int(exact_idx.max()) >= out.size:

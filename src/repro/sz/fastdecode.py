@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core import trace
 from repro.sz import huffman
 from repro.sz.bitstream import lane_byte_lengths, sliding_window_u32
 from repro.sz.huffman import HuffmanCode, LaneTable
@@ -116,6 +117,10 @@ def decode_lanes(
     has_long = max_len > t_bits
 
     cur, seg_end, quota, obase = _segment_layout(table, n_values, len(codes))
+    trace.count_many({
+        "fastdecode.lanes": table.n_lanes,
+        "fastdecode.segments": int(quota.size),
+    })
     # Sort segments by quota descending: the active set at iteration t
     # is then always a prefix, so the loop works on views, not masks.
     order = np.argsort(-quota, kind="stable")

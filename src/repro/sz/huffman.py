@@ -35,6 +35,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core import trace
 from repro.sz import intcodec
 from repro.sz.bitstream import PackedBits, pack_codes
 
@@ -711,7 +712,9 @@ def decoder_for(code: HuffmanCode) -> _Decoder:
         dec = _decoder_cache.get(key)
         if dec is not None:
             _decoder_cache.move_to_end(key)
+            trace.count("fastdecode.cache_hits")
             return dec
+    trace.count("fastdecode.cache_misses")
     dec = _Decoder(code)
     with _decoder_cache_lock:
         _decoder_cache[key] = dec

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 import zlib
 
+from repro.core import trace
+
 __all__ = ["compress", "decompress", "DEFAULT_LEVEL"]
 
 #: zlib's own default trade-off; SZ uses the Zlib default as well.
@@ -21,12 +23,22 @@ def compress(data: bytes, level: int = DEFAULT_LEVEL) -> bytes:
     """zlib-compress ``data`` (level 0..9)."""
     if not 0 <= level <= 9:
         raise ValueError(f"zlib level must be 0..9, got {level}")
-    return zlib.compress(data, level)
+    out = zlib.compress(data, level)
+    trace.count_many({
+        "zlib.deflate_in_bytes": len(data),
+        "zlib.deflate_out_bytes": len(out),
+    })
+    return out
 
 
 def decompress(data: bytes) -> bytes:
     """Inverse of :func:`compress`; raises ``ValueError`` on bad input."""
     try:
-        return zlib.decompress(data)
+        out = zlib.decompress(data)
     except zlib.error as exc:
         raise ValueError(f"corrupt lossless stream: {exc}") from exc
+    trace.count_many({
+        "zlib.inflate_in_bytes": len(data),
+        "zlib.inflate_out_bytes": len(out),
+    })
+    return out

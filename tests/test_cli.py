@@ -161,3 +161,49 @@ class TestInspectAuthenticated:
         assert cli.main(["inspect", str(path)]) == 0
         out = capsys.readouterr().out
         assert "authenticated: yes" in out
+
+
+class TestTrace:
+    def test_synthetic_roundtrip_writes_valid_schema(self, tmp_path, capsys):
+        """Acceptance: `secz trace` output validates against the
+        documented repro-trace/1 schema."""
+        import json
+
+        from repro.core import trace
+
+        out = tmp_path / "t.trace.json"
+        chrome = tmp_path / "t.chrome.json"
+        assert cli.main([
+            "trace", "--synthetic", "t", "--size", "tiny",
+            "--scheme", "encr_huffman", "--eb", "1e-4",
+            "--json", str(out), "--chrome", str(chrome),
+        ]) == 0
+        text = capsys.readouterr().out
+        assert "compress" in text and "counters:" in text
+
+        doc = trace.validate(json.loads(out.read_text()))
+        names = [root["name"] for root in doc["roots"]]
+        assert names == ["compress", "decompress"]
+        assert doc["counters"]["aes.blocks_encrypted"] > 0
+
+        events = json.loads(chrome.read_text())["traceEvents"]
+        assert all(ev["ph"] == "X" for ev in events)
+
+    def test_file_input_no_decompress(self, tmp_path):
+        import json
+
+        src = tmp_path / "f.npy"
+        np.save(src, np.linspace(0, 1, 4096, dtype=np.float32))
+        out = tmp_path / "f.trace.json"
+        assert cli.main([
+            "trace", str(src), "--scheme", "none", "--eb", "1e-3",
+            "--no-decompress", "--json", str(out),
+        ]) == 0
+        doc = json.loads(out.read_text())
+        assert [r["name"] for r in doc["roots"]] == ["compress"]
+
+    def test_rejects_both_or_neither_input(self, tmp_path, q2_bin):
+        with pytest.raises(SystemExit):
+            cli.main(["trace"])
+        with pytest.raises(SystemExit):
+            cli.main(["trace", q2_bin, "--synthetic", "t"])

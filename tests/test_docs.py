@@ -1,0 +1,124 @@
+"""Keep the markdown honest: links must resolve, examples must run.
+
+Two checks over README.md and every ``*.md`` under ``docs/`` (plus the
+top-level DESIGN/EXPERIMENTS/ROADMAP files):
+
+* every relative link target exists in the repo;
+* every fenced ```` ```python ```` block executes.  Blocks that are
+  deliberately illustrative opt out with the ``python no-run`` info
+  string (same for ``json no-run`` etc., which are never executed).
+"""
+
+import os
+import re
+import subprocess
+import sys
+
+import pytest
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+DOC_FILES = sorted(
+    [
+        p
+        for p in (
+            "README.md",
+            "DESIGN.md",
+            "EXPERIMENTS.md",
+            "ROADMAP.md",
+            "PAPER.md",
+            "CHANGES.md",
+        )
+        if os.path.exists(os.path.join(REPO, p))
+    ]
+    + [
+        os.path.join("docs", name)
+        for name in os.listdir(os.path.join(REPO, "docs"))
+        if name.endswith(".md")
+    ]
+)
+
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_FENCE = re.compile(r"^```(.*)$")
+
+
+def iter_links(text):
+    """Relative link targets, with #fragments and ``<>`` stripped."""
+    fenced = False
+    for line in text.splitlines():
+        if line.startswith("```"):
+            fenced = not fenced
+            continue
+        if fenced:
+            continue
+        for target in _LINK.findall(line):
+            target = target.strip("<>")
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            yield target.split("#", 1)[0]
+
+
+def iter_python_blocks(text):
+    """(info_string, source) for every fenced code block."""
+    lines = text.splitlines()
+    i = 0
+    while i < len(lines):
+        m = _FENCE.match(lines[i])
+        if m and lines[i].startswith("```") and lines[i] != "```":
+            info = m.group(1).strip()
+            body = []
+            i += 1
+            while i < len(lines) and not lines[i].startswith("```"):
+                body.append(lines[i])
+                i += 1
+            yield info, "\n".join(body)
+        i += 1
+
+
+@pytest.mark.parametrize("doc", DOC_FILES)
+def test_relative_links_resolve(doc):
+    with open(os.path.join(REPO, doc), encoding="utf-8") as fh:
+        text = fh.read()
+    base = os.path.dirname(os.path.join(REPO, doc))
+    broken = [
+        target
+        for target in iter_links(text)
+        if target and not os.path.exists(os.path.join(base, target))
+    ]
+    assert not broken, f"{doc}: broken relative links: {broken}"
+
+
+def collect_runnable_blocks():
+    found = []
+    for doc in DOC_FILES:
+        with open(os.path.join(REPO, doc), encoding="utf-8") as fh:
+            text = fh.read()
+        for idx, (info, source) in enumerate(iter_python_blocks(text)):
+            if info.split() and info.split()[0] == "python" and (
+                "no-run" not in info
+            ):
+                found.append(pytest.param(doc, source, id=f"{doc}#{idx}"))
+    return found
+
+
+@pytest.mark.parametrize("doc,source", collect_runnable_blocks())
+def test_fenced_python_blocks_execute(doc, source, tmp_path):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO, "src")
+    proc = subprocess.run(
+        [sys.executable, "-c", source],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=tmp_path,
+        timeout=300,
+    )
+    assert proc.returncode == 0, (
+        f"{doc}: fenced python block failed:\n{proc.stderr}"
+    )
+
+
+def test_readme_has_a_runnable_block():
+    """The opt-out must not quietly swallow everything."""
+    assert any(doc == "README.md" for doc, _ in
+               (p.values for p in collect_runnable_blocks()))

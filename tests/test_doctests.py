@@ -7,6 +7,7 @@ import pytest
 import repro
 import repro.archive
 import repro.core.pipeline
+import repro.core.trace
 import repro.crypto.aes
 import repro.imagecodec.codec
 import repro.imagecodec.pipeline
@@ -19,6 +20,7 @@ MODULES = [
     repro,
     repro.archive,
     repro.core.pipeline,
+    repro.core.trace,
     repro.crypto.aes,
     repro.imagecodec.codec,
     repro.imagecodec.pipeline,
@@ -34,3 +36,23 @@ def test_module_doctests(module):
     results = doctest.testmod(module, verbose=False)
     assert results.failed == 0, f"{module.__name__}: {results.failed} doctest failures"
     assert results.attempted > 0, f"{module.__name__} has no doctest examples"
+
+
+def test_trace_profile_example_runs(tmp_path):
+    """examples/trace_profile.py must stay runnable end to end."""
+    import os
+    import subprocess
+    import sys
+
+    repo = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    script = os.path.join(repo, "examples", "trace_profile.py")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(repo, "src")
+    proc = subprocess.run(
+        [sys.executable, script],
+        capture_output=True, text=True, env=env, cwd=tmp_path, timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "compress" in proc.stdout
+    assert (tmp_path / "trace.json").exists()
+    assert (tmp_path / "trace.chrome.json").exists()
