@@ -1,17 +1,23 @@
-"""Quick-bench: Huffman decode throughput per lane count.
+"""Quick-bench: Huffman encode + decode throughput per lane count.
 
 Standalone (no pytest plugins): times the legacy single-stream scalar
-decoder against the vectorized multi-lane kernel on a >= 4 MB float32
-field and writes ``BENCH_huffman.json`` at the repo root.  CI runs this
-as a smoke check; the acceptance bar for the lane work is a >= 5x
-decode speedup at K = 16 over the single-stream decoder.
+decoder against the vectorized multi-lane kernel, and the reference
+bit-plane packer (``pack_codes_ref``) against the word-packed encode
+kernel, on a >= 4 MB float32 field.  Writes ``BENCH_huffman.json`` at
+the repo root (or ``REPRO_BENCH_OUT``).  CI runs this as a smoke check;
+the acceptance bars are a >= 5x decode speedup at K = 16 over the
+single-stream decoder and a >= 2x `huffman_encode` throughput with
+~8x lower peak allocation over the reference packer.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_huffman_lanes.py
 
-Environment knobs: ``REPRO_BENCH_REPEATS`` (default 3, best-of) and
-``REPRO_BENCH_DATASET`` (default ``nyx``).
+Environment knobs: ``REPRO_BENCH_REPEATS`` (default 3, best-of),
+``REPRO_BENCH_DATASET`` (default ``nyx``), ``REPRO_BENCH_DIMS``
+(comma-separated, default ``128,128,128``; setting it waives the 4 MB
+floor so CI can smoke-test at tiny sizes) and ``REPRO_BENCH_OUT``
+(output path override).
 """
 
 from __future__ import annotations
@@ -19,18 +25,25 @@ from __future__ import annotations
 import json
 import os
 import time
+import tracemalloc
 
 import numpy as np
 
 from repro.datasets import generate
 from repro.sz import fastdecode, huffman
-from repro.sz.bitstream import concat_streams
+from repro.sz.bitstream import concat_streams, pack_codes, pack_codes_ref
 from repro.sz.compressor import SZCompressor
 
 LANE_COUNTS = (1, 4, 16)
 REPEATS = int(os.environ.get("REPRO_BENCH_REPEATS", "3"))
 DATASET = os.environ.get("REPRO_BENCH_DATASET", "nyx")
-OUT_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_huffman.json")
+DIMS = tuple(
+    int(d) for d in os.environ.get("REPRO_BENCH_DIMS", "128,128,128").split(",")
+)
+OUT_PATH = os.environ.get(
+    "REPRO_BENCH_OUT",
+    os.path.join(os.path.dirname(__file__), "..", "BENCH_huffman.json"),
+)
 
 
 def _best_seconds(fn, repeats: int = REPEATS) -> float:
@@ -42,13 +55,25 @@ def _best_seconds(fn, repeats: int = REPEATS) -> float:
     return best
 
 
+def _peak_mb(fn) -> float:
+    """Peak tracemalloc allocation of one ``fn()`` call, in MB."""
+    tracemalloc.start()
+    try:
+        fn()
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return peak / 1e6
+
+
 def main() -> dict:
     # 128^3 float32 = 8 MB: comfortably past the 4 MB acceptance floor.
-    field = np.asarray(generate(DATASET, dims=(128, 128, 128)), dtype=np.float32)
+    field = np.asarray(generate(DATASET, dims=DIMS), dtype=np.float32)
     field_mb = field.nbytes / 1e6
-    assert field.nbytes >= 4 * 1024 * 1024, "bench field must be >= 4 MB"
+    if "REPRO_BENCH_DIMS" not in os.environ:
+        assert field.nbytes >= 4 * 1024 * 1024, "bench field must be >= 4 MB"
 
-    # Recover the real quantization-code stream the decoder faces.
+    # Recover the real quantization-code stream the codec faces.
     comp = SZCompressor(1e-4)
     frame = comp.compress(field)
     info = comp.parse_meta(frame.sections["meta"])
@@ -69,13 +94,58 @@ def main() -> dict:
         "field_mb": round(field_mb, 3),
         "n_symbols": n,
         "repeats": REPEATS,
+        "encode_mb_per_s": {},
+        "encode_peak_alloc_mb": {},
         "decode_mb_per_s": {},
         "decode_msym_per_s": {},
     }
 
-    # Baseline: the seed's single-stream scalar decoder (unchanged code
-    # path, used today for v2 frames).
+    # ------------------------------------------------------------------
+    # Encode: reference bit-plane packer vs the word-packed kernel, on
+    # the exact codeword/length tables the compressor emits.
+    # ------------------------------------------------------------------
+    idx = np.searchsorted(code.symbols, flat_codes)
+    codewords = code.codewords[idx]
+    lengths = code.lengths[idx].astype(np.int64)
+    assert pack_codes(codewords, lengths).data == pack_codes_ref(
+        codewords, lengths
+    ).data
+
+    secs = _best_seconds(lambda: pack_codes_ref(codewords, lengths))
+    result["encode_mb_per_s"]["pack_ref"] = round(field_mb / secs, 2)
+    secs = _best_seconds(lambda: pack_codes(codewords, lengths))
+    result["encode_mb_per_s"]["pack_word"] = round(field_mb / secs, 2)
+    result["encode_peak_alloc_mb"]["pack_ref"] = round(
+        _peak_mb(lambda: pack_codes_ref(codewords, lengths)), 2
+    )
+    result["encode_peak_alloc_mb"]["pack_word"] = round(
+        _peak_mb(lambda: pack_codes(codewords, lengths)), 2
+    )
+
+    # Full encode_lanes path (lookup + per-lane packing + anchors).
     packed = huffman.encode(flat_codes, code)
+    for k in LANE_COUNTS:
+        _, stride = huffman.choose_lane_params(n, packed.n_bits)
+        secs = _best_seconds(
+            lambda: huffman.encode_lanes(flat_codes, code, k, stride)
+        )
+        result["encode_mb_per_s"][f"lanes_{k}"] = round(field_mb / secs, 2)
+
+    result["encode_speedup_word_vs_ref"] = round(
+        result["encode_mb_per_s"]["pack_word"]
+        / result["encode_mb_per_s"]["pack_ref"],
+        2,
+    )
+    result["encode_peak_ratio_ref_vs_word"] = round(
+        result["encode_peak_alloc_mb"]["pack_ref"]
+        / max(result["encode_peak_alloc_mb"]["pack_word"], 1e-9),
+        2,
+    )
+
+    # ------------------------------------------------------------------
+    # Decode: the seed's single-stream scalar decoder (unchanged code
+    # path, used today for v2 frames) vs the lane kernel.
+    # ------------------------------------------------------------------
     secs = _best_seconds(lambda: huffman.decode(packed, code, n))
     assert np.array_equal(huffman.decode(packed, code, n), flat_codes)
     result["decode_mb_per_s"]["single_stream"] = round(field_mb / secs, 2)

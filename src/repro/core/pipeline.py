@@ -73,8 +73,10 @@ class SecureCompressor:
         16-byte AES-128 key; required by every scheme except ``none``.
     cipher_mode:
         ``"cbc"`` (paper's choice) or ``"ctr"`` (mode ablation).
-    predictor, block_size, coverage:
-        Forwarded to :class:`~repro.sz.compressor.SZCompressor`.
+    predictor, block_size, coverage, encode_workers:
+        Forwarded to :class:`~repro.sz.compressor.SZCompressor`
+        (``encode_workers`` packs v3 Huffman lanes on a thread pool;
+        the emitted bytes are identical for any worker count).
     zlib_level:
         Lossless-stage effort (0-9).
     authenticate:
@@ -108,6 +110,7 @@ class SecureCompressor:
         predictor: str = "auto",
         block_size: int = 8,
         coverage: float = 0.995,
+        encode_workers: int = 1,
         zlib_level: int = DEFAULT_LEVEL,
         authenticate: bool = False,
         random_state: np.random.Generator | None = None,
@@ -130,6 +133,7 @@ class SecureCompressor:
             predictor=predictor,
             block_size=block_size,
             coverage=coverage,
+            encode_workers=encode_workers,
         )
         self.zlib_level = zlib_level
         self._random_state = random_state

@@ -82,6 +82,8 @@ KNOWN_COUNTERS = (
     "fastdecode.cache_misses",     # decoder tables had to be rebuilt
     "fastdecode.lanes",            # Huffman lanes decoded (v3 frames)
     "fastdecode.segments",         # independent decode segments (lanes + anchors)
+    "huffman.encode_lanes",        # Huffman lanes encoded (v2 counts as 1)
+    "huffman.packed_words",        # uint64 words written by the pack kernel
     "aes.blocks_encrypted",        # 16-byte blocks through CBC encryption
     "aes.blocks_decrypted",        # 16-byte blocks through CBC decryption
     "aes.blocks_keystream",        # 16-byte CTR keystream blocks generated

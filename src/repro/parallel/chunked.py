@@ -41,6 +41,7 @@ class _Config:
     predictor: str
     zlib_level: int
     authenticate: bool = False
+    encode_workers: int = 1
 
     def build(self, seed: int | None = None) -> SecureCompressor:
         rng = np.random.default_rng(seed) if seed is not None else None
@@ -52,6 +53,7 @@ class _Config:
             predictor=self.predictor,
             zlib_level=self.zlib_level,
             authenticate=self.authenticate,
+            encode_workers=self.encode_workers,
             random_state=rng,
         )
 
@@ -95,6 +97,11 @@ class ChunkedSecureCompressor:
     base_seed:
         When set, slab IVs derive from ``base_seed + slab_index`` so
         runs are reproducible; production leaves it None (OS entropy).
+    encode_workers:
+        Per-worker thread-pool width for packing v3 Huffman lanes
+        (forwarded to each slab's :class:`SecureCompressor`).  The
+        output bytes are identical for any value, so process- and
+        thread-level parallelism compose freely.
     """
 
     def __init__(
@@ -110,6 +117,7 @@ class ChunkedSecureCompressor:
         n_chunks: int = 4,
         n_workers: int = 4,
         base_seed: int | None = None,
+        encode_workers: int = 1,
     ) -> None:
         if n_chunks < 1:
             raise ValueError("n_chunks must be positive")
@@ -123,6 +131,7 @@ class ChunkedSecureCompressor:
             predictor=predictor,
             zlib_level=zlib_level,
             authenticate=authenticate,
+            encode_workers=encode_workers,
         )
         self.n_chunks = n_chunks
         self.n_workers = n_workers

@@ -1,21 +1,29 @@
 """Vectorized bit packing for variable-length (Huffman) codes.
 
-Packing writes all codewords into one flat bit array in ``max_len``
-vectorized passes (one per bit position) instead of a per-symbol Python
-loop — the classic mask-and-scatter idiom.  Unpacking back into
-codewords is done by the table-driven decoder in :mod:`repro.sz.huffman`;
-this module only provides the raw bit-level containers.
+Packing accumulates codewords into a flat array of 64-bit *words* (a
+vectorized shift register): every codeword lands in at most two
+adjacent words, so the whole stream assembles in a handful of NumPy
+passes over 8-bytes-per-64-bits buffers — roughly 8x less peak memory
+than the byte-per-bit scatter it replaced (kept as
+:func:`pack_codes_ref`, the differential-test oracle).  Unpacking back
+into codewords is done by the table-driven decoder in
+:mod:`repro.sz.huffman`; this module only provides the raw bit-level
+containers.
 """
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core import trace
+
 __all__ = [
     "PackedBits",
     "pack_codes",
+    "pack_codes_ref",
     "unpack_bits",
     "concat_streams",
     "lane_byte_lengths",
@@ -39,6 +47,34 @@ class PackedBits:
             )
 
 
+def _check_code_table(codes: np.ndarray, lengths: np.ndarray) -> None:
+    """Shared input validation for both packers.
+
+    A zero-length codeword on a present symbol would silently drop the
+    symbol from the stream (the decoder would then desynchronize on a
+    corrupt bitstream far from the cause), so it is rejected here with
+    an explicit message rather than left to produce garbage.
+    """
+    if codes.shape != lengths.shape:
+        raise ValueError("codes and lengths must have the same shape")
+    if codes.size == 0:
+        return
+    if lengths.min() < 1:
+        raise ValueError(
+            "zero-length codeword: every present symbol needs a length in "
+            "1..64 (a 0-length entry would emit no bits and corrupt the "
+            "stream)"
+        )
+    if lengths.max() > 64:
+        raise ValueError("codeword lengths must be in 1..64")
+
+
+#: Codewords per word-packing pass.  Bounds the kernel's transient
+#: arrays (~10 int64 temporaries per codeword) to a few hundred KB so
+#: peak memory stays dominated by the output words, not the scratch.
+_PACK_CHUNK = 1 << 15
+
+
 def pack_codes(codes: np.ndarray, lengths: np.ndarray) -> PackedBits:
     """Concatenate variable-length codewords MSB-first into a bit string.
 
@@ -52,20 +88,111 @@ def pack_codes(codes: np.ndarray, lengths: np.ndarray) -> PackedBits:
 
     Notes
     -----
-    Runs in ``O(max_len)`` vectorized passes: pass ``b`` scatters bit
-    ``b`` of every codeword long enough to have one.  Peak memory is
-    one byte per output *bit* (the unpacked bit plane), which is the
-    price of full vectorization and is fine at the scales this library
-    targets.
+    Word-packed kernel: each codeword is shifted into place inside the
+    one or two ``uint64`` output words its bit range touches, and the
+    per-word contributions combine with a segmented sum (bit ranges are
+    disjoint, so integer addition *is* bitwise OR here).  Work and peak
+    memory are ``O(n)`` in the codeword count with small constants —
+    the ``max_len`` bit-plane passes and the byte-per-bit scratch of
+    the reference packer are gone.  Output bytes are identical to
+    :func:`pack_codes_ref` (pinned by ``tests/sz/test_bitstream_diff.py``).
     """
     codes = np.asarray(codes, dtype=np.uint64)
     lengths = np.asarray(lengths, dtype=np.int64)
-    if codes.shape != lengths.shape:
-        raise ValueError("codes and lengths must have the same shape")
+    _check_code_table(codes, lengths)
     if codes.size == 0:
         return PackedBits(data=b"", n_bits=0)
-    if lengths.min() < 1 or lengths.max() > 64:
-        raise ValueError("codeword lengths must be in 1..64")
+
+    total_bits = int(lengths.sum())
+    n_words = (total_bits + 63) >> 6
+    words = np.zeros(n_words, dtype=np.uint64)
+    # Bit offsets are accumulated chunk-locally (cumsum of the chunk's
+    # lengths plus a running base) so no full-stream offset array is
+    # ever materialized — the output words dominate peak memory.
+    base = 0
+    for lo in range(0, codes.size, _PACK_CHUNK):
+        hi = min(lo + _PACK_CHUNK, codes.size)
+        chunk_ends = np.cumsum(lengths[lo:hi])
+        starts = chunk_ends - lengths[lo:hi] + base
+        base += int(chunk_ends[-1])
+        _pack_words(codes[lo:hi], lengths[lo:hi], starts, words)
+    trace.count("huffman.packed_words", n_words)
+
+    if sys.byteorder == "little":
+        words.byteswap(inplace=True)  # big-endian byte order within words
+    data = words.view(np.uint8)[: (total_bits + 7) >> 3].tobytes()
+    return PackedBits(data=data, n_bits=total_bits)
+
+
+def _pack_words(
+    codes: np.ndarray,
+    lengths: np.ndarray,
+    starts: np.ndarray,
+    words: np.ndarray,
+) -> None:
+    """OR one chunk of codewords into the big-endian ``uint64`` stream.
+
+    Codeword ``i`` occupies stream bits ``starts[i] .. starts[i] +
+    lengths[i] - 1``; bit ``p`` lives in word ``p >> 6`` at in-word
+    position ``63 - (p & 63)`` (MSB-first).  With lengths capped at 64
+    a codeword spans at most two adjacent words: the head lands in word
+    ``starts >> 6`` and any spill (``offset + length > 64``) continues
+    at the top of the next word.
+    """
+    word_idx = starts >> 6
+    end_bit = (starts & 63) + lengths  # in-word end position, 1..127
+    spill = end_bit - 64
+    # The contract reads only the low `lengths[i]` bits of each
+    # codeword (like the reference packer); mask the rest so stray
+    # high bits cannot leak into neighboring slots.
+    codes = codes & (~np.uint64(0) >> (np.uint64(64) - lengths.astype(np.uint64)))
+
+    # Head contribution: codes aligned so their last bit sits at
+    # in-word position end_bit-1 — a left shift by (64 - end_bit) when
+    # the codeword fits, a right shift by spill when it runs over.
+    mag = np.abs(spill).astype(np.uint64)
+    head = np.where(spill > 0, codes >> mag, codes << mag)
+    _scatter_or_sorted(words, word_idx, head)
+
+    over = np.nonzero(spill > 0)[0]
+    if over.size:
+        # Spill contribution: the low `spill` bits of the codeword,
+        # left-justified into the start of the following word.
+        tail = codes[over] << (np.uint64(64) - mag[over])
+        _scatter_or_sorted(words, word_idx[over] + 1, tail)
+
+
+def _scatter_or_sorted(
+    words: np.ndarray, targets: np.ndarray, vals: np.ndarray
+) -> None:
+    """``words[targets] |= vals`` for non-decreasing ``targets``.
+
+    Contributions hitting one word carry disjoint bit sets, so their
+    integer sum equals their OR, and a run-boundary difference of the
+    (wrapping) prefix sum yields every word's combined contribution in
+    three vectorized ops — no ``ufunc.at`` scatter needed.
+    """
+    csum = np.cumsum(vals, dtype=np.uint64)
+    run_ends = np.nonzero(np.diff(targets))[0]
+    run_last = np.concatenate([run_ends, [targets.size - 1]])
+    sums = np.diff(csum[run_last], prepend=np.uint64(0))
+    words[targets[run_last]] |= sums
+
+
+def pack_codes_ref(codes: np.ndarray, lengths: np.ndarray) -> PackedBits:
+    """Reference bit-plane packer (the original ``pack_codes``).
+
+    Kept as the differential-test oracle for the word-packed kernel:
+    it runs in ``O(max_len)`` vectorized passes — pass ``b`` scatters
+    bit ``b`` of every codeword long enough to have one — at the cost
+    of one byte per output *bit* of peak memory.  Not used on any hot
+    path.
+    """
+    codes = np.asarray(codes, dtype=np.uint64)
+    lengths = np.asarray(lengths, dtype=np.int64)
+    _check_code_table(codes, lengths)
+    if codes.size == 0:
+        return PackedBits(data=b"", n_bits=0)
 
     ends = np.cumsum(lengths)
     total_bits = int(ends[-1])

@@ -147,6 +147,13 @@ class SZCompressor:
         ~512 coded bytes, keeping the table at ~0.3 % of the codes
         section).  Smaller strides widen the decode kernel's vectors
         but grow the anchor table.
+    encode_workers:
+        Thread-pool width for packing v3 Huffman lanes.  Lanes are
+        independent bitstreams, so packing them concurrently changes
+        wall time only — the emitted frame is bit-identical for any
+        worker count.  ``1`` (the default) packs serially; the knob
+        composes with the process-level parallelism of
+        :class:`repro.parallel.chunked.ChunkedCompressor`.
 
     Examples
     --------
@@ -168,6 +175,7 @@ class SZCompressor:
         coverage: float = 0.995,
         huffman_lanes: int | str = "auto",
         anchor_stride: int | str = "auto",
+        encode_workers: int = 1,
     ) -> None:
         if isinstance(error_bound, (int, float)):
             error_bound = ErrorBound(value=float(error_bound), mode="abs")
@@ -185,6 +193,9 @@ class SZCompressor:
         if anchor_stride != "auto" and int(anchor_stride) < 1:
             raise ValueError("anchor_stride must be 'auto' or positive")
         self.anchor_stride = anchor_stride
+        if encode_workers < 1:
+            raise ValueError("encode_workers must be positive")
+        self.encode_workers = encode_workers
 
     def _lane_params(self, n_values: int, total_bits: int) -> tuple[int, int]:
         """Resolve the (possibly ``"auto"``) lane count and stride."""
@@ -269,7 +280,8 @@ class SZCompressor:
                         flat_codes.size, total_bits
                     )
                     enc = huffman.encode_lanes(
-                        flat_codes, code, n_lanes, stride
+                        flat_codes, code, n_lanes, stride,
+                        max_workers=self.encode_workers,
                     )
                     tree_bytes = huffman.serialize_lane_tree(code, enc.table)
                     codes_bytes = concat_streams(list(enc.lanes))

@@ -30,6 +30,7 @@ import hashlib
 import heapq
 import struct
 import threading
+from concurrent.futures import ThreadPoolExecutor
 from collections import OrderedDict
 from dataclasses import dataclass
 
@@ -227,6 +228,7 @@ def encode(values: np.ndarray, code: HuffmanCode) -> PackedBits:
     idx = np.clip(idx, 0, code.n_symbols - 1)
     if not np.array_equal(code.symbols[idx], values):
         raise ValueError("value outside the code's alphabet")
+    trace.count("huffman.encode_lanes", 1)
     return pack_codes(code.codewords[idx], code.lengths[idx])
 
 
@@ -357,17 +359,42 @@ def choose_lane_params(n_values: int, total_bits: int | None = None) -> tuple[in
     return n_lanes, stride
 
 
+def _encode_one_lane(
+    codewords: np.ndarray, lane_lens: np.ndarray, anchor_stride: int
+) -> tuple[PackedBits, int, np.ndarray]:
+    """Pack one lane slice: ``(stream, bit length, anchor offsets)``.
+
+    Lanes are fully independent (each is a self-contained bitstream
+    under the shared code), so this helper is the unit of work for the
+    optional thread-pool encode path.
+    """
+    packed = pack_codes(codewords, lane_lens)
+    ends = np.cumsum(lane_lens)
+    n_bits = int(ends[-1]) if ends.size else 0
+    # Bit offset where codeword anchor_stride, 2*anchor_stride, ...
+    # begins: the boundary *after* the preceding codeword.
+    anchors = ends[anchor_stride - 1 : ends.size - 1 : anchor_stride]
+    return packed, n_bits, np.asarray(anchors, dtype=np.int64)
+
+
 def encode_lanes(
     values: np.ndarray,
     code: HuffmanCode,
     n_lanes: int,
     anchor_stride: int,
+    *,
+    max_workers: int = 1,
 ) -> LaneEncoding:
     """Huffman-encode ``values`` as ``n_lanes`` independent bitstreams.
 
     Every lane is a self-contained stream under the shared canonical
     code, padded to a byte boundary so the concatenated ``codes``
-    section keeps lanes byte-aligned.
+    section keeps lanes byte-aligned.  With ``max_workers > 1`` the
+    lane slices pack on a thread pool (the word-pack kernel is NumPy
+    work that releases the GIL); the output is bit-identical to the
+    serial path regardless, so the knob never touches the wire format
+    and composes freely with the process-parallel
+    :mod:`repro.parallel.chunked` layer.
     """
     values = np.ravel(np.asarray(values, dtype=np.int64))
     if not 1 <= n_lanes <= MAX_LANES:
@@ -376,6 +403,8 @@ def encode_lanes(
         raise ValueError("more lanes than values")
     if anchor_stride < 1:
         raise ValueError("anchor_stride must be positive")
+    if max_workers < 1:
+        raise ValueError("max_workers must be positive")
     if values.size == 0:
         table = LaneTable(
             n_lanes=1,
@@ -392,24 +421,33 @@ def encode_lanes(
     codewords = code.codewords[idx]
 
     bounds = np.concatenate([[0], np.cumsum(lane_sizes(values.size, n_lanes))])
-    lanes: list[PackedBits] = []
-    lane_bits = np.empty(n_lanes, dtype=np.int64)
-    anchors: list[np.ndarray] = []
-    for lo, hi in zip(bounds[:-1], bounds[1:]):
-        lane_lens = lengths[lo:hi]
-        lanes.append(pack_codes(codewords[lo:hi], lane_lens))
-        ends = np.cumsum(lane_lens)
-        lane_bits[len(lanes) - 1] = int(ends[-1]) if ends.size else 0
-        # Bit offset where codeword anchor_stride, 2*anchor_stride, ...
-        # begins: the boundary *after* the preceding codeword.
-        anchors.append(ends[anchor_stride - 1 : ends.size - 1 : anchor_stride])
+    slices = [
+        (codewords[lo:hi], lengths[lo:hi])
+        for lo, hi in zip(bounds[:-1], bounds[1:])
+    ]
+    if max_workers > 1 and n_lanes > 1:
+        with ThreadPoolExecutor(max_workers=min(max_workers, n_lanes)) as pool:
+            results = list(
+                pool.map(
+                    lambda s: _encode_one_lane(s[0], s[1], anchor_stride),
+                    slices,
+                )
+            )
+    else:
+        results = [
+            _encode_one_lane(cw, ln, anchor_stride) for cw, ln in slices
+        ]
+    trace.count("huffman.encode_lanes", n_lanes)
+    lanes = tuple(packed for packed, _, _ in results)
+    lane_bits = np.array([bits for _, bits, _ in results], dtype=np.int64)
+    anchors = tuple(a for _, _, a in results)
     table = LaneTable(
         n_lanes=n_lanes,
         anchor_stride=anchor_stride,
         lane_bits=lane_bits,
-        anchors=tuple(np.asarray(a, dtype=np.int64) for a in anchors),
+        anchors=anchors,
     )
-    return LaneEncoding(lanes=tuple(lanes), table=table)
+    return LaneEncoding(lanes=lanes, table=table)
 
 
 def _anchor_counts(n_values: int, n_lanes: int, stride: int) -> np.ndarray:

@@ -1,0 +1,118 @@
+"""Golden trace fixtures: one ``*.trace.json`` per scheme.
+
+``tests/data/traces/<scheme>.trace.json`` pins the *structure* each
+scheme's compress + decompress traces must produce — the span tree
+shape (names, nesting, attr keys) and the set of counters touched.
+Timings and byte counts are runtime-dependent and deliberately not
+compared; what these fixtures catch is an accidental reshuffle of the
+pipeline stages or a counter silently vanishing from a code path.
+
+Regenerate after an *intentional* trace-shape change with::
+
+    PYTHONPATH=src python tests/core/test_trace_golden.py --regen
+
+and review the fixture diff like any other format change.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core import trace
+from repro.core.pipeline import SecureCompressor
+from repro.core.schemes import SCHEMES
+from repro.sz import huffman
+
+FIXTURE_DIR = Path(__file__).resolve().parent.parent / "data" / "traces"
+KEY = bytes(range(16))
+
+
+def _clear_decoder_cache() -> None:
+    # The decoder LRU is process-global; a warm cache flips
+    # cache_misses to cache_hits and the counter-key comparison with
+    # it. Golden runs always start cold.
+    with huffman._decoder_cache_lock:
+        huffman._decoder_cache.clear()
+
+
+def _run_scheme(scheme: str) -> dict:
+    """Deterministic tiny compress + decompress, traced."""
+    _clear_decoder_cache()
+    rng = np.random.default_rng(42)
+    field = np.cumsum(
+        rng.standard_normal((24, 24)), axis=1
+    ).astype(np.float32)
+    sc = SecureCompressor(
+        scheme=scheme,
+        error_bound=1e-3,
+        key=None if scheme == "none" else KEY,
+        random_state=np.random.default_rng(0),
+    )
+    tr = trace.Tracer()
+    result = sc.compress(field, tracer=tr)
+    restored = sc.decompress(result.container, tracer=tr)
+    np.testing.assert_allclose(restored, field, atol=1e-3)
+    return trace.validate(tr.export())
+
+
+def _span_shape(span: dict) -> dict:
+    """Structure only: name, attr keys, children — no timings/bytes."""
+    return {
+        "name": span["name"],
+        "attr_keys": sorted(span["attrs"]),
+        "children": [_span_shape(c) for c in span["children"]],
+    }
+
+
+def _doc_shape(doc: dict) -> dict:
+    return {
+        "roots": [_span_shape(r) for r in doc["roots"]],
+        "counter_keys": sorted(doc["counters"]),
+    }
+
+
+@pytest.mark.parametrize("scheme", sorted(SCHEMES))
+def test_trace_matches_golden(scheme):
+    path = FIXTURE_DIR / f"{scheme}.trace.json"
+    assert path.exists(), (
+        f"missing golden fixture {path.name}; regenerate with "
+        f"`PYTHONPATH=src python {__file__} --regen`"
+    )
+    golden = json.loads(path.read_text())
+    assert golden["schema"] == trace.SCHEMA
+    assert _doc_shape(_run_scheme(scheme)) == _doc_shape(golden)
+
+
+def test_fixtures_are_valid_trace_documents():
+    for scheme in sorted(SCHEMES):
+        doc = json.loads((FIXTURE_DIR / f"{scheme}.trace.json").read_text())
+        trace.validate(doc)
+
+
+def test_no_stray_fixtures():
+    # Every fixture corresponds to a registered scheme, so a renamed
+    # scheme cannot leave a stale golden behind unnoticed.
+    found = {p.stem.replace(".trace", "") for p in FIXTURE_DIR.glob("*.trace.json")}
+    assert found == set(SCHEMES)
+
+
+def _regen() -> None:
+    FIXTURE_DIR.mkdir(parents=True, exist_ok=True)
+    for scheme in sorted(SCHEMES):
+        doc = _run_scheme(scheme)
+        path = FIXTURE_DIR / f"{scheme}.trace.json"
+        path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regen" in sys.argv:
+        _regen()
+    else:
+        print(__doc__)
