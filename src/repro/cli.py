@@ -7,6 +7,7 @@ Subcommands::
     secz inspect        INPUT
     secz trace          [INPUT | --synthetic NAME] [--json T.json] [--chrome T.trace]
     secz nist           INPUT [--streams 12]
+    secz lint           [PATH ...] [--format text|json] [--disable RULE]
     secz datasets
     secz advise         INPUT [--shape Z,Y,X] --eb 1e-3 [--randomness]
     secz img-compress   INPUT.npy OUTPUT --quality 80
@@ -124,6 +125,24 @@ def build_parser() -> argparse.ArgumentParser:
     p_n = sub.add_parser("nist", help="run SP800-22 on a file's bytes")
     p_n.add_argument("input")
     p_n.add_argument("--streams", type=int, default=12)
+
+    p_l = sub.add_parser(
+        "lint",
+        help="run the repo invariant linter (see docs/LINTING.md)",
+    )
+    p_l.add_argument("paths", nargs="*", default=["src"],
+                     help="files or directories to lint (default: src)")
+    p_l.add_argument("--format", choices=("text", "json"), default="text",
+                     dest="output_format",
+                     help="report format (default text)")
+    p_l.add_argument("--enable", action="append", metavar="RULE", default=None,
+                     help="run only these rules (repeatable)")
+    p_l.add_argument("--disable", action="append", metavar="RULE", default=None,
+                     help="skip these rules (repeatable)")
+    p_l.add_argument("--root", default=None,
+                     help="repo root holding docs/ (default: auto-detect)")
+    p_l.add_argument("--list-rules", action="store_true",
+                     help="list the shipped rules and exit")
 
     p_g = sub.add_parser("datasets", help="list / write synthetic datasets")
     p_g.add_argument("--write", metavar="DIR", default=None,
@@ -264,6 +283,31 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro import lint
+
+    if args.list_rules:
+        for cls in lint.ALL_RULES:
+            print(f"{cls.name:18s} {cls.description}")
+        return 0
+    try:
+        report = lint.lint_paths(
+            [Path(p) for p in args.paths],
+            root=Path(args.root) if args.root else None,
+            enable=args.enable,
+            disable=args.disable,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+    if args.output_format == "json":
+        print(report.format_json())
+    else:
+        print(report.format_text())
+    return report.exit_code
+
+
 def _cmd_nist(args: argparse.Namespace) -> int:
     with open(args.input, "rb") as fh:
         blob = fh.read()
@@ -347,6 +391,7 @@ def main(argv: list[str] | None = None) -> int:
         "decompress": _cmd_decompress,
         "inspect": _cmd_inspect,
         "trace": _cmd_trace,
+        "lint": _cmd_lint,
         "nist": _cmd_nist,
         "datasets": _cmd_datasets,
         "advise": _cmd_advise,

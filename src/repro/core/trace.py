@@ -84,6 +84,8 @@ KNOWN_COUNTERS = (
     "fastdecode.segments",         # independent decode segments (lanes + anchors)
     "huffman.encode_lanes",        # Huffman lanes encoded (v2 counts as 1)
     "huffman.packed_words",        # uint64 words written by the pack kernel
+    "predict.sample_points",       # points sampled per predictor-selection estimate
+    "quantize.repair_passes",      # verified-quantize ±1 repair sweeps run
     "aes.blocks_encrypted",        # 16-byte blocks through CBC encryption
     "aes.blocks_decrypted",        # 16-byte blocks through CBC decryption
     "aes.blocks_keystream",        # 16-byte CTR keystream blocks generated

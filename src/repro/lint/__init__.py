@@ -1,0 +1,69 @@
+"""``repro.lint`` — the repo's AST-based invariant linter.
+
+Machine-checks the cross-file invariants the docs promise: counter
+keys vs ``trace.KNOWN_COUNTERS`` vs docs/OBSERVABILITY.md, span names
+vs the registry and the golden trace fixtures, wire-format constants
+vs docs/FORMAT.md, CSPRNG-only randomness in ``repro.crypto``, dtype
+discipline on hot allocations, and general hygiene.  Exposed as
+``secz lint`` (see docs/LINTING.md) and run over the real tree by
+``tests/lint/``.
+
+>>> from pathlib import Path
+>>> from repro import lint
+>>> report = lint.lint_paths([Path("src")], root=Path("."))
+>>> report.exit_code
+0
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.lint.rules import ALL_RULES, get_rules, rule_names
+from repro.lint.walker import (
+    SCHEMA,
+    FileContext,
+    Finding,
+    LintReport,
+    LintRunner,
+    RepoContext,
+    Rule,
+    find_repo_root,
+)
+
+__all__ = [
+    "SCHEMA",
+    "ALL_RULES",
+    "FileContext",
+    "Finding",
+    "LintReport",
+    "LintRunner",
+    "RepoContext",
+    "Rule",
+    "find_repo_root",
+    "get_rules",
+    "lint_paths",
+    "rule_names",
+]
+
+
+def lint_paths(
+    paths: list[Path],
+    *,
+    root: Path | None = None,
+    enable: list[str] | None = None,
+    disable: list[str] | None = None,
+) -> LintReport:
+    """Lint ``paths`` with the selected rules; the one-call API.
+
+    ``root`` defaults to the repo root found by walking up from the
+    first path (the directory holding pyproject.toml) — that anchors
+    the doc registries the spec-sync rules compare against.
+    """
+    if not paths:
+        raise ValueError("no paths to lint")
+    if root is None:
+        root = find_repo_root(Path(paths[0]))
+    repo = RepoContext(Path(root))
+    runner = LintRunner(get_rules(enable, disable), repo)
+    return runner.run([Path(p) for p in paths])

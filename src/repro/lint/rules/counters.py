@@ -1,0 +1,113 @@
+"""Counter-registry sync: code, registry and docs must agree.
+
+Every counter key literal passed to the :mod:`repro.core.trace`
+counting APIs (``trace.count`` / ``trace.count_many``) inside ``src/``
+must exist in ``trace.KNOWN_COUNTERS`` *and* in the
+docs/OBSERVABILITY.md registry table — and, on a full-tree scan, every
+registry entry must be documented and incremented somewhere.  This is
+the invariant ROADMAP.md states as "registry + docs table must move
+together", previously enforced only by review.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.walker import FileContext, Finding, RepoContext, Rule
+
+__all__ = ["CounterRegistryRule"]
+
+#: The file whose presence in a scan marks it as a full-tree scan;
+#: repo-wide "vice versa" checks are meaningless on partial scans.
+REGISTRY_FILE = "src/repro/core/trace.py"
+_COUNT_FUNCS = ("count", "count_many")
+
+
+def _counter_calls(ctx: FileContext):
+    """Yield ``(key_literal, lineno)`` for every counting-API call."""
+    bare_names: set[str] = set()
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.ImportFrom) and node.module == "repro.core.trace":
+            bare_names.update(
+                alias.asname or alias.name
+                for alias in node.names
+                if alias.name in _COUNT_FUNCS
+            )
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            if not (isinstance(func.value, ast.Name)
+                    and func.value.id == "trace"
+                    and func.attr in _COUNT_FUNCS):
+                continue
+            name = func.attr
+        elif isinstance(func, ast.Name) and func.id in bare_names:
+            name = func.id
+        else:
+            continue
+        if not node.args:
+            continue
+        first = node.args[0]
+        if name == "count":
+            if isinstance(first, ast.Constant) and isinstance(first.value, str):
+                yield first.value, node.lineno
+        elif isinstance(first, ast.Dict):
+            for key in first.keys:
+                if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                    yield key.value, key.lineno
+
+
+class CounterRegistryRule(Rule):
+    name = "counter-registry"
+    description = (
+        "counter keys passed to trace.count/count_many must exist in "
+        "trace.KNOWN_COUNTERS and the docs/OBSERVABILITY.md table "
+        "(and, on full scans, vice versa)"
+    )
+
+    def check(self, ctx: FileContext, repo: RepoContext) -> list[Finding]:
+        if not ctx.relpath.startswith("src/"):
+            return []
+        used = repo.state.setdefault("counters-used", set())
+        findings = []
+        for key, lineno in _counter_calls(ctx):
+            used.add(key)
+            if key not in repo.known_counters:
+                findings.append(Finding(
+                    path=ctx.relpath, line=lineno, rule=self.name,
+                    message=f"counter {key!r} is not in trace.KNOWN_COUNTERS",
+                ))
+            if key not in repo.documented_counters:
+                findings.append(Finding(
+                    path=ctx.relpath, line=lineno, rule=self.name,
+                    message=(f"counter {key!r} is missing from the "
+                             "docs/OBSERVABILITY.md registry table"),
+                ))
+        return findings
+
+    def finalize(self, repo: RepoContext) -> list[Finding]:
+        if REGISTRY_FILE not in repo.scanned:
+            return []
+        used = repo.state.get("counters-used", set())
+        findings = []
+        for key in sorted(repo.known_counters - repo.documented_counters):
+            findings.append(Finding(
+                path="docs/OBSERVABILITY.md", line=0, rule=self.name,
+                message=(f"registry counter {key!r} is missing from the "
+                         "docs/OBSERVABILITY.md registry table"),
+            ))
+        for key in sorted(repo.documented_counters - repo.known_counters):
+            findings.append(Finding(
+                path="docs/OBSERVABILITY.md", line=0, rule=self.name,
+                message=(f"documented counter {key!r} is not in "
+                         "trace.KNOWN_COUNTERS"),
+            ))
+        for key in sorted(repo.known_counters - set(used)):
+            findings.append(Finding(
+                path=REGISTRY_FILE, line=0, rule=self.name,
+                message=(f"registry counter {key!r} is never incremented "
+                         "anywhere in src/"),
+            ))
+        return findings

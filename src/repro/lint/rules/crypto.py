@@ -1,0 +1,164 @@
+"""Crypto hygiene for the from-scratch AES in ``repro.crypto``.
+
+Two invariants, both load-bearing for the paper's security claims:
+
+1. **CSPRNG only.**  All randomness (keys, IVs, nonces) must come from
+   ``repro.crypto.rng`` (which wraps ``os.urandom``).  ``random``,
+   ``numpy.random`` and anything time-seeded are forbidden everywhere
+   in the package except ``rng.py`` itself.
+2. **No secret-dependent control flow.**  Branching on — or indexing
+   tables by — key-schedule material leaks timing.  The scalar T-table
+   engine (``block.py``) is the one sanctioned table-lookup path; it
+   is exempt from the data-flow check.  Everywhere else a name that
+   looks secret (``key``/``schedule``/``secret``/``passphrase``) may
+   not appear in an ``if``/``while`` test or a subscript index, except
+   inside shape checks (``len``/``isinstance``), ``is None`` tests and
+   bare-truthiness emptiness tests.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from repro.lint.walker import FileContext, Finding, RepoContext, Rule
+
+__all__ = ["CryptoHygieneRule"]
+
+CRYPTO_PACKAGE = "src/repro/crypto/"
+#: The sanctioned CSPRNG wrapper — exempt from every check here.
+RNG_MODULE = "src/repro/crypto/rng.py"
+#: The sanctioned table-lookup engine — exempt from the secret-flow check.
+TTABLE_MODULE = "src/repro/crypto/block.py"
+
+_SECRET = re.compile(r"key|schedule|secret|passphrase", re.IGNORECASE)
+_FORBIDDEN_MODULES = ("random", "numpy.random")
+_TIME_FUNCS = ("time", "time_ns", "monotonic", "monotonic_ns")
+
+
+def _identifier(node: ast.AST) -> str | None:
+    """The dotted tail of a Name/Attribute, e.g. ``self.round_keys``."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = _identifier(node.value)
+        return f"{base}.{node.attr}" if base else node.attr
+    return None
+
+
+def _randomness_findings(ctx: FileContext, rule: str) -> list[Finding]:
+    findings = []
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name in _FORBIDDEN_MODULES:
+                    findings.append(Finding(
+                        path=ctx.relpath, line=node.lineno, rule=rule,
+                        message=(f"import of {alias.name!r}: only "
+                                 "repro.crypto.rng (os.urandom) may "
+                                 "produce randomness in repro.crypto"),
+                    ))
+        elif isinstance(node, ast.ImportFrom):
+            module = node.module or ""
+            if module in _FORBIDDEN_MODULES or (
+                module == "numpy"
+                and any(alias.name == "random" for alias in node.names)
+            ):
+                findings.append(Finding(
+                    path=ctx.relpath, line=node.lineno, rule=rule,
+                    message=(f"import from {module!r}: only "
+                             "repro.crypto.rng (os.urandom) may "
+                             "produce randomness in repro.crypto"),
+                ))
+        elif isinstance(node, ast.Attribute):
+            dotted = _identifier(node)
+            if dotted in ("np.random", "numpy.random"):
+                findings.append(Finding(
+                    path=ctx.relpath, line=node.lineno, rule=rule,
+                    message=("numpy.random is not a CSPRNG; use "
+                             "repro.crypto.rng"),
+                ))
+            elif node.attr in _TIME_FUNCS and _identifier(node.value) == "time":
+                findings.append(Finding(
+                    path=ctx.relpath, line=node.lineno, rule=rule,
+                    message=("time-derived values must not feed "
+                             "randomness in repro.crypto; use "
+                             "repro.crypto.rng"),
+                ))
+    return findings
+
+
+def _is_shape_check(node: ast.AST) -> bool:
+    """True for the sanctioned non-value uses of a secret name."""
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name) \
+            and node.func.id in ("len", "isinstance"):
+        return True
+    if isinstance(node, ast.Compare) and any(
+        isinstance(op, (ast.Is, ast.IsNot)) for op in node.ops
+    ):
+        return True
+    return False
+
+
+def _secret_names(test: ast.AST, *, allow_bare: bool = False):
+    """Secret-looking identifiers used by *value* inside ``test``."""
+    if allow_bare:
+        # Bare truthiness (`if not self.round_keys:`) is an emptiness
+        # test on a container, not a branch on secret bytes.  A bare
+        # subscript index (`SBOX[key_byte]`) gets no such pass.
+        while isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not):
+            test = test.operand
+        if isinstance(test, (ast.Name, ast.Attribute)):
+            return
+    shielded: set[int] = set()
+    for node in ast.walk(test):
+        if _is_shape_check(node):
+            shielded.update(id(sub) for sub in ast.walk(node))
+    for node in ast.walk(test):
+        if id(node) in shielded:
+            continue
+        if isinstance(node, (ast.Name, ast.Attribute)):
+            dotted = _identifier(node)
+            if dotted is None or not _SECRET.search(dotted):
+                continue
+            if dotted.rsplit(".", 1)[-1].isupper():
+                continue  # ALL_CAPS constants (KEY_BYTES, ...) are public
+            yield dotted, node.lineno
+            return  # one finding per test is enough
+
+
+class CryptoHygieneRule(Rule):
+    name = "crypto-hygiene"
+    description = (
+        "repro.crypto must draw randomness only from rng.py and must "
+        "not branch on or index by secret values outside the T-table "
+        "engine"
+    )
+
+    def check(self, ctx: FileContext, repo: RepoContext) -> list[Finding]:
+        if not ctx.relpath.startswith(CRYPTO_PACKAGE):
+            return []
+        if ctx.relpath == RNG_MODULE:
+            return []
+        findings = _randomness_findings(ctx, self.name)
+        if ctx.relpath == TTABLE_MODULE:
+            return findings
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.If, ast.While)):
+                for dotted, lineno in _secret_names(node.test, allow_bare=True):
+                    findings.append(Finding(
+                        path=ctx.relpath, line=lineno, rule=self.name,
+                        message=(f"branch on secret-looking value "
+                                 f"{dotted!r}: secret-dependent control "
+                                 "flow leaks timing (T-table path lives "
+                                 "in block.py)"),
+                    ))
+            elif isinstance(node, ast.Subscript):
+                for dotted, lineno in _secret_names(node.slice):
+                    findings.append(Finding(
+                        path=ctx.relpath, line=lineno, rule=self.name,
+                        message=(f"table index from secret-looking value "
+                                 f"{dotted!r}: secret-dependent lookups "
+                                 "outside block.py leak timing"),
+                    ))
+        return findings

@@ -1,0 +1,60 @@
+"""Dtype discipline on the hot allocation paths.
+
+``np.zeros`` / ``np.empty`` / ``np.arange`` default to ``float64`` /
+platform ``intp``, so an allocation without an explicit ``dtype=``
+either doubles the working set or makes the wire format
+platform-dependent.  The hot SZ modules (huffman, bitstream,
+fastdecode, quantizer) must always say what they allocate.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.walker import FileContext, Finding, RepoContext, Rule
+
+__all__ = ["DtypeDisciplineRule"]
+
+#: The allocation-heavy modules whose buffers feed the wire format.
+HOT_MODULES = frozenset({
+    "src/repro/sz/huffman.py",
+    "src/repro/sz/bitstream.py",
+    "src/repro/sz/fastdecode.py",
+    "src/repro/sz/quantizer.py",
+})
+_ALLOCATORS = ("zeros", "empty", "arange")
+#: zeros/empty take dtype as the second positional; arange's extra
+#: positionals are stop/step, so only the keyword counts there.
+_POSITIONAL_DTYPE_OK = ("zeros", "empty")
+
+
+class DtypeDisciplineRule(Rule):
+    name = "dtype-discipline"
+    description = (
+        "np.zeros/np.empty/np.arange in the hot SZ modules must pass "
+        "an explicit dtype="
+    )
+
+    def check(self, ctx: FileContext, repo: RepoContext) -> list[Finding]:
+        if ctx.relpath not in HOT_MODULES:
+            return []
+        findings = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (isinstance(func, ast.Attribute)
+                    and func.attr in _ALLOCATORS
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id in ("np", "numpy")):
+                continue
+            if any(kw.arg == "dtype" for kw in node.keywords):
+                continue
+            if func.attr in _POSITIONAL_DTYPE_OK and len(node.args) >= 2:
+                continue
+            findings.append(Finding(
+                path=ctx.relpath, line=node.lineno, rule=self.name,
+                message=(f"np.{func.attr} without explicit dtype= on a "
+                         "hot path (defaults are float64/platform intp)"),
+            ))
+        return findings

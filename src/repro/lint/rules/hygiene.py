@@ -1,0 +1,180 @@
+"""General hygiene rules for library code under ``src/``.
+
+Four small rules, each independently addressable by pragma or
+``--disable``:
+
+* ``bare-except`` — ``except:`` swallows ``KeyboardInterrupt`` and
+  ``SystemExit``; catch something narrower (or ``Exception``).
+* ``mutable-default`` — a list/dict/set default is shared across
+  calls; use ``None`` and allocate inside.
+* ``assert-stmt`` — ``assert`` is stripped under ``python -O``;
+  runtime validation must ``raise``.
+* ``unused-import`` — an import nobody references.
+
+They apply only below ``src/`` — tests may assert and monkeypatch as
+they please.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.walker import FileContext, Finding, RepoContext, Rule
+
+__all__ = [
+    "BareExceptRule",
+    "MutableDefaultRule",
+    "AssertStmtRule",
+    "UnusedImportRule",
+]
+
+_MUTABLE_LITERALS = (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                     ast.DictComp, ast.SetComp)
+_MUTABLE_CALLS = ("list", "dict", "set", "bytearray")
+
+
+def _in_scope(ctx: FileContext) -> bool:
+    return ctx.relpath.startswith("src/")
+
+
+class BareExceptRule(Rule):
+    name = "bare-except"
+    description = "except: without an exception type in src/"
+
+    def check(self, ctx: FileContext, repo: RepoContext) -> list[Finding]:
+        if not _in_scope(ctx):
+            return []
+        return [
+            Finding(
+                path=ctx.relpath, line=node.lineno, rule=self.name,
+                message=("bare except: catches KeyboardInterrupt/"
+                         "SystemExit; catch a specific exception"),
+            )
+            for node in ast.walk(ctx.tree)
+            if isinstance(node, ast.ExceptHandler) and node.type is None
+        ]
+
+
+class MutableDefaultRule(Rule):
+    name = "mutable-default"
+    description = "mutable default argument values in src/"
+
+    def check(self, ctx: FileContext, repo: RepoContext) -> list[Finding]:
+        if not _in_scope(ctx):
+            return []
+        findings = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                mutable = isinstance(default, _MUTABLE_LITERALS) or (
+                    isinstance(default, ast.Call)
+                    and isinstance(default.func, ast.Name)
+                    and default.func.id in _MUTABLE_CALLS
+                )
+                if mutable:
+                    findings.append(Finding(
+                        path=ctx.relpath, line=default.lineno, rule=self.name,
+                        message=(f"mutable default in {node.name}(): the "
+                                 "object is shared across calls; default "
+                                 "to None and allocate inside"),
+                    ))
+        return findings
+
+
+class AssertStmtRule(Rule):
+    name = "assert-stmt"
+    description = "assert used for runtime validation in src/"
+
+    def check(self, ctx: FileContext, repo: RepoContext) -> list[Finding]:
+        if not _in_scope(ctx):
+            return []
+        return [
+            Finding(
+                path=ctx.relpath, line=node.lineno, rule=self.name,
+                message=("assert is stripped under python -O; raise "
+                         "ValueError/TypeError for runtime validation"),
+            )
+            for node in ast.walk(ctx.tree)
+            if isinstance(node, ast.Assert)
+        ]
+
+
+def _string_annotation_names(tree: ast.AST) -> set[str]:
+    """Names referenced inside quoted annotations (`x: "Foo | None"`)."""
+    annotations: list[ast.expr] = []
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            args = node.args
+            for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs,
+                        args.vararg, args.kwarg):
+                if arg is not None and arg.annotation is not None:
+                    annotations.append(arg.annotation)
+            if node.returns is not None:
+                annotations.append(node.returns)
+        elif isinstance(node, ast.AnnAssign):
+            annotations.append(node.annotation)
+    names: set[str] = set()
+    for annotation in annotations:
+        if not (isinstance(annotation, ast.Constant)
+                and isinstance(annotation.value, str)):
+            continue
+        try:
+            parsed = ast.parse(annotation.value, mode="eval")
+        except SyntaxError:
+            continue
+        names.update(
+            sub.id for sub in ast.walk(parsed) if isinstance(sub, ast.Name)
+        )
+    return names
+
+
+class UnusedImportRule(Rule):
+    name = "unused-import"
+    description = "imports never referenced in the file (src/ only)"
+
+    def check(self, ctx: FileContext, repo: RepoContext) -> list[Finding]:
+        if not _in_scope(ctx):
+            return []
+        if ctx.path.name == "__init__.py":
+            return []  # package __init__ imports are the public surface
+        bindings: list[tuple[str, int]] = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    name = alias.asname or alias.name.split(".")[0]
+                    bindings.append((name, node.lineno))
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "__future__":
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    bindings.append((alias.asname or alias.name, node.lineno))
+        if not bindings:
+            return []
+        used = {
+            node.id for node in ast.walk(ctx.tree) if isinstance(node, ast.Name)
+        }
+        used.update(_string_annotation_names(ctx.tree))
+        exported: set[str] = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Assign) and any(
+                isinstance(t, ast.Name) and t.id == "__all__"
+                for t in node.targets
+            ) and isinstance(node.value, (ast.List, ast.Tuple)):
+                exported.update(
+                    el.value for el in node.value.elts
+                    if isinstance(el, ast.Constant) and isinstance(el.value, str)
+                )
+        return [
+            Finding(
+                path=ctx.relpath, line=lineno, rule=self.name,
+                message=f"import {name!r} is never used",
+            )
+            for name, lineno in bindings
+            if name not in used and name not in exported
+        ]

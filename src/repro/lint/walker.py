@@ -1,0 +1,380 @@
+"""AST walking machinery for the repo linter.
+
+The linter's job is to machine-check the cross-file invariants that
+PRs 3-4 left to reviewer discipline: every counter key must exist in
+``trace.KNOWN_COUNTERS`` *and* the docs/OBSERVABILITY.md table, every
+``struct`` layout must match docs/FORMAT.md, the from-scratch AES must
+never touch non-CSPRNG randomness, and so on.  This module provides
+the machinery shared by every rule:
+
+* :class:`Finding` — one diagnostic (rule id, path, line, message);
+* :class:`FileContext` — a parsed source file: AST, source lines and
+  the ``# lint: disable=`` pragma map;
+* :class:`Rule` — the base class rules subclass (per-file ``check``
+  plus a repo-level ``finalize`` for cross-file invariants);
+* :class:`RepoContext` — where the spec-sync rules find their ground
+  truth (docs tables, golden trace fixtures, the counter registry);
+  every registry is injectable so rule tests can run against tiny
+  synthetic specs;
+* :class:`LintRunner` — collects files, runs rules, applies pragmas
+  and renders text or JSON reports.
+
+Pragma syntax (docs/LINTING.md):
+
+* ``# lint: disable=rule-a,rule-b`` — suppress those rules on that
+  line (trailing comment);
+* ``# lint: disable-file=rule-a`` — suppress a rule for the whole
+  file (conventionally placed near the top).
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = [
+    "SCHEMA",
+    "Finding",
+    "FileContext",
+    "Rule",
+    "RepoContext",
+    "LintRunner",
+    "LintReport",
+]
+
+#: Schema identifier stamped into every ``--format json`` report.
+SCHEMA = "repro-lint/1"
+
+_PRAGMA = re.compile(r"#\s*lint:\s*(disable|disable-file)=([a-z0-9_,\- ]+)")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One diagnostic: where, which rule, and what went wrong."""
+
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def to_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+class FileContext:
+    """A parsed source file plus everything rules need to inspect it."""
+
+    def __init__(self, path: Path, relpath: str, source: str) -> None:
+        self.path = path
+        #: POSIX path relative to the repo root (what scopes match on).
+        self.relpath = relpath
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source, filename=str(path))
+        self._line_pragmas: dict[int, set[str]] = {}
+        self._file_pragmas: set[str] = set()
+        for lineno, text in enumerate(self.lines, start=1):
+            match = _PRAGMA.search(text)
+            if match is None:
+                continue
+            rules = {
+                part.strip() for part in match.group(2).split(",") if part.strip()
+            }
+            if match.group(1) == "disable-file":
+                self._file_pragmas |= rules
+            else:
+                self._line_pragmas.setdefault(lineno, set()).update(rules)
+
+    def suppressed(self, rule: str, line: int) -> bool:
+        """True when a pragma disables ``rule`` at ``line``."""
+        if rule in self._file_pragmas or "all" in self._file_pragmas:
+            return True
+        on_line = self._line_pragmas.get(line, ())
+        return rule in on_line or "all" in on_line
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set :attr:`name` (the kebab-case id used by pragmas and
+    ``--enable``/``--disable``) and :attr:`description`, and override
+    :meth:`check` for per-file diagnostics.  Rules that enforce
+    cross-file invariants (e.g. "every registry entry is used
+    somewhere") accumulate state in ``check`` and emit the repo-level
+    findings from :meth:`finalize`, which runs once after every file.
+    """
+
+    name: str = ""
+    description: str = ""
+
+    def check(self, ctx: FileContext, repo: "RepoContext") -> list[Finding]:
+        return []
+
+    def finalize(self, repo: "RepoContext") -> list[Finding]:
+        return []
+
+
+# ----------------------------------------------------------------------
+# Repo-level ground truth (docs tables, fixtures, registries)
+# ----------------------------------------------------------------------
+
+_DOC_COUNTER_ROW = re.compile(r"^\|\s*`([a-z0-9_]+(?:\.[a-z0-9_]+)+)`\s*\|")
+_BACKTICKED_NAME = re.compile(r"`([a-z][a-z0-9_.]*)`")
+_DOC_STRUCT = re.compile(r"[`'\"]<([0-9A-Za-z]+)>?[`'\"]")
+_DOC_MAGIC = re.compile(r"(?:magic|ASCII)[^\n`'\"]{0,14}[`'\"]([A-Za-z0-9]{4})[`'\"]")
+
+
+def _section(text: str, heading: str) -> str:
+    """The markdown section starting at ``heading`` (to the next ##)."""
+    start = text.find(heading)
+    if start < 0:
+        return ""
+    end = text.find("\n## ", start + len(heading))
+    return text[start:end] if end > 0 else text[start:]
+
+
+class RepoContext:
+    """Ground truth the spec-sync rules compare code against.
+
+    ``root`` is the repository root (the directory holding ``docs/``
+    and ``pyproject.toml``).  Every registry is lazily derived from the
+    repo on first access, and every one can be injected through the
+    constructor so rule tests run against synthetic specs instead of
+    the real tree.
+    """
+
+    def __init__(
+        self,
+        root: Path,
+        *,
+        known_counters: frozenset[str] | None = None,
+        documented_counters: frozenset[str] | None = None,
+        documented_spans: frozenset[str] | None = None,
+        fixture_spans: frozenset[str] | None = None,
+        documented_structs: frozenset[str] | None = None,
+        documented_magics: frozenset[str] | None = None,
+    ) -> None:
+        self.root = Path(root)
+        self._known_counters = known_counters
+        self._documented_counters = documented_counters
+        self._documented_spans = documented_spans
+        self._fixture_spans = fixture_spans
+        self._documented_structs = documented_structs
+        self._documented_magics = documented_magics
+        #: Relpaths of every scanned file (set by the runner); rules
+        #: use this to decide whether repo-wide "vice versa" checks are
+        #: meaningful (they are skipped on partial scans).
+        self.scanned: set[str] = set()
+        #: Free-form scratch space for rules' cross-file state.
+        self.state: dict[str, object] = {}
+
+    # -- doc readers ---------------------------------------------------
+
+    def _read_doc(self, name: str) -> str:
+        path = self.root / "docs" / name
+        return path.read_text(encoding="utf-8") if path.exists() else ""
+
+    @property
+    def known_counters(self) -> frozenset[str]:
+        """The code-side counter registry (``trace.KNOWN_COUNTERS``)."""
+        if self._known_counters is None:
+            from repro.core import trace
+
+            self._known_counters = frozenset(trace.KNOWN_COUNTERS)
+        return self._known_counters
+
+    @property
+    def documented_counters(self) -> frozenset[str]:
+        """Counter names from the docs/OBSERVABILITY.md registry table."""
+        if self._documented_counters is None:
+            section = _section(
+                self._read_doc("OBSERVABILITY.md"), "## Counter registry"
+            )
+            self._documented_counters = frozenset(
+                m.group(1)
+                for line in section.splitlines()
+                if (m := _DOC_COUNTER_ROW.match(line))
+            )
+        return self._documented_counters
+
+    @property
+    def documented_spans(self) -> frozenset[str]:
+        """Span names from the docs/OBSERVABILITY.md span registry.
+
+        Structural names come from the first column of the registry
+        table; stage names from the backticked list in the "Stage
+        spans" paragraph.
+        """
+        if self._documented_spans is None:
+            section = _section(
+                self._read_doc("OBSERVABILITY.md"), "## Span name registry"
+            )
+            names: set[str] = set()
+            for line in section.splitlines():
+                if line.startswith("|"):
+                    first_cell = line.split("|")[1]
+                    names.update(_BACKTICKED_NAME.findall(first_cell))
+            stages = section.find("Stage spans")
+            if stages >= 0:
+                paragraph = section[stages:].split("\n\n", 1)[0]
+                names.update(_BACKTICKED_NAME.findall(paragraph))
+            self._documented_spans = frozenset(names)
+        return self._documented_spans
+
+    @property
+    def fixture_spans(self) -> frozenset[str]:
+        """Span names pinned by the golden trace fixtures."""
+        if self._fixture_spans is None:
+            names: set[str] = set()
+            fixture_dir = self.root / "tests" / "data" / "traces"
+            for path in sorted(fixture_dir.glob("*.trace.json")):
+                doc = json.loads(path.read_text())
+
+                def walk(span: dict) -> None:
+                    names.add(span["name"])
+                    for child in span.get("children", []):
+                        walk(child)
+
+                for span_root in doc.get("roots", []):
+                    walk(span_root)
+            self._fixture_spans = frozenset(names)
+        return self._fixture_spans
+
+    @property
+    def documented_structs(self) -> frozenset[str]:
+        """Normalized struct format bodies quoted in docs/FORMAT.md."""
+        if self._documented_structs is None:
+            self._documented_structs = frozenset(
+                _DOC_STRUCT.findall(self._read_doc("FORMAT.md"))
+            )
+        return self._documented_structs
+
+    @property
+    def documented_magics(self) -> frozenset[str]:
+        """Four-byte magic strings named in docs/FORMAT.md."""
+        if self._documented_magics is None:
+            self._documented_magics = frozenset(
+                _DOC_MAGIC.findall(self._read_doc("FORMAT.md"))
+            )
+        return self._documented_magics
+
+
+def find_repo_root(start: Path) -> Path:
+    """Walk up from ``start`` to the directory holding pyproject.toml."""
+    start = start.resolve()
+    for candidate in (start, *start.parents):
+        if (candidate / "pyproject.toml").exists():
+            return candidate
+    return start if start.is_dir() else start.parent
+
+
+# ----------------------------------------------------------------------
+# Runner
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class LintReport:
+    """Every finding from one run, plus rendering helpers."""
+
+    findings: list[Finding]
+    files_checked: int
+    rules_run: list[str] = field(default_factory=list)
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.findings else 0
+
+    def to_dict(self) -> dict:
+        counts: dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return {
+            "schema": SCHEMA,
+            "files_checked": self.files_checked,
+            "rules_run": sorted(self.rules_run),
+            "counts": dict(sorted(counts.items())),
+            "findings": [f.to_dict() for f in self.findings],
+        }
+
+    def format_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    def format_text(self) -> str:
+        lines = [f.format() for f in self.findings]
+        noun = "finding" if len(self.findings) == 1 else "findings"
+        lines.append(
+            f"{len(self.findings)} {noun} in {self.files_checked} files "
+            f"({len(self.rules_run)} rules)"
+        )
+        return "\n".join(lines)
+
+
+class LintRunner:
+    """Run a set of rules over the ``*.py`` files below some paths."""
+
+    def __init__(self, rules: list[Rule], repo: RepoContext) -> None:
+        names = [rule.name for rule in rules]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate rule names in {names}")
+        self.rules = rules
+        self.repo = repo
+
+    def collect(self, paths: list[Path]) -> list[Path]:
+        """Every ``*.py`` file under ``paths``, sorted, deduplicated."""
+        files: set[Path] = set()
+        for path in paths:
+            path = Path(path)
+            if path.is_dir():
+                files.update(path.rglob("*.py"))
+            elif path.suffix == ".py":
+                files.add(path)
+            else:
+                raise ValueError(f"not a Python file or directory: {path}")
+        return sorted(files)
+
+    def run(self, paths: list[Path]) -> LintReport:
+        files = self.collect(paths)
+        contexts: list[FileContext] = []
+        findings: list[Finding] = []
+        for path in files:
+            relpath = self._relpath(path)
+            try:
+                ctx = FileContext(path, relpath, path.read_text(encoding="utf-8"))
+            except SyntaxError as exc:
+                findings.append(Finding(
+                    path=relpath, line=int(exc.lineno or 0),
+                    rule="parse-error", message=f"file does not parse: {exc.msg}",
+                ))
+                continue
+            contexts.append(ctx)
+            self.repo.scanned.add(relpath)
+        for ctx in contexts:
+            for rule in self.rules:
+                for finding in rule.check(ctx, self.repo):
+                    if not ctx.suppressed(finding.rule, finding.line):
+                        findings.append(finding)
+        for rule in self.rules:
+            findings.extend(rule.finalize(self.repo))
+        return LintReport(
+            findings=sorted(findings),
+            files_checked=len(files),
+            rules_run=[rule.name for rule in self.rules],
+        )
+
+    def _relpath(self, path: Path) -> str:
+        try:
+            return path.resolve().relative_to(self.repo.root.resolve()).as_posix()
+        except ValueError:
+            return path.as_posix()

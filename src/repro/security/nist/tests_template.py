@@ -8,8 +8,6 @@ distribution against the asymptotic Pi probabilities.
 
 from __future__ import annotations
 
-import math
-
 import numpy as np
 from scipy import special
 

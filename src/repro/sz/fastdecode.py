@@ -132,7 +132,7 @@ def decode_lanes(
     # active[t] = segments still holding symbols at iteration t.
     ascending = quota[::-1]
     active = quota.size - np.searchsorted(
-        ascending, np.arange(max_q), side="right"
+        ascending, np.arange(max_q, dtype=np.int64), side="right"
     )
 
     # A corrupt stream can walk a cursor past its segment (we only

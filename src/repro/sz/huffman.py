@@ -167,7 +167,7 @@ def _limit_lengths(lengths: np.ndarray, freqs: np.ndarray, max_len: int) -> np.n
 
 def _canonical_codewords(lengths: np.ndarray) -> np.ndarray:
     """Assign canonical codewords given lengths (symbols already sorted)."""
-    order = np.lexsort((np.arange(len(lengths)), lengths))
+    order = np.lexsort((np.arange(len(lengths), dtype=np.int64), lengths))
     codes = np.zeros(len(lengths), dtype=np.uint64)
     code = 0
     prev_len = 0
@@ -560,7 +560,7 @@ class _Decoder:
         self.long_codes: dict[int, tuple[int, int, int]] = {}
         self.sorted_symbols = np.empty(0, dtype=np.int64)
         if (~short).any():
-            order = np.lexsort((np.arange(len(lengths)), lengths))
+            order = np.lexsort((np.arange(len(lengths), dtype=np.int64), lengths))
             sorted_lengths = lengths[order]
             sorted_cw = code.codewords[order]
             self.sorted_symbols = code.symbols[order]

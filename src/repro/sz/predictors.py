@@ -28,6 +28,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core import trace
 from repro.sz import blocks as blk
 
 __all__ = [
@@ -193,6 +194,7 @@ def estimate_code_entropy(residuals: np.ndarray, radius: int,
         return 0.0
     if flat.size > sample_limit:
         flat = flat[:: flat.size // sample_limit]
+    trace.count("predict.sample_points", flat.size)
     unpred = np.abs(flat) >= radius
     frac_unpred = float(unpred.mean())
     clipped = flat[~unpred]

@@ -23,6 +23,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core import trace
+
 __all__ = [
     "ErrorBound",
     "grid_quantize",
@@ -149,6 +151,7 @@ def grid_quantize_verified(data: np.ndarray, eb: float) -> tuple[np.ndarray, np.
     bad = err > eb
     if not bad.any():
         return q, np.empty(0, dtype=np.int64)
+    trace.count("quantize.repair_passes", 1)
     idx = np.nonzero(np.ravel(bad))[0]
     flat_q = np.ravel(q).copy()
     flat_x = np.ravel(np.asarray(data, dtype=np.float64))

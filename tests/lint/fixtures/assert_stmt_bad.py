@@ -1,0 +1,6 @@
+"""Failing fixture: assert as runtime validation."""
+
+
+def checked(n: int) -> int:
+    assert n >= 0, "n must be non-negative"
+    return n

@@ -1,0 +1,7 @@
+"""Passing fixture: runtime validation raises."""
+
+
+def checked(n: int) -> int:
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    return n

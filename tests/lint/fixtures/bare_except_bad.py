@@ -1,0 +1,9 @@
+"""Failing fixture: a bare except."""
+
+
+def load(path: str):
+    try:
+        with open(path, "rb") as fh:
+            return fh.read()
+    except:
+        return None

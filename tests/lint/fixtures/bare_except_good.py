@@ -1,0 +1,9 @@
+"""Passing fixture: a typed except."""
+
+
+def load(path: str):
+    try:
+        with open(path, "rb") as fh:
+            return fh.read()
+    except OSError:
+        return None

@@ -1,0 +1,6 @@
+"""Failing fixture: 'test.unknown' is in neither registry nor docs."""
+from repro.core import trace
+
+
+def work(n: int) -> None:
+    trace.count("test.unknown", n)

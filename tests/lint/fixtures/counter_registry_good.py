@@ -1,0 +1,12 @@
+"""Passing fixture: every counter key is registered and documented."""
+from repro.core import trace
+
+
+def work(n: int) -> None:
+    trace.count("test.known", n)
+    trace.count_many({"test.known": n})
+    trace.count_many(dict_built_elsewhere())  # non-literal args are skipped
+
+
+def dict_built_elsewhere() -> dict:
+    return {}

@@ -1,0 +1,14 @@
+"""Failing fixture: forbidden randomness and secret-dependent flow."""
+import random
+
+import numpy as np
+
+SBOX = list(range(256))
+
+
+def leaky(key: bytes, key_byte: int):
+    iv = bytes(random.randrange(256) for _ in range(16))
+    noise = np.random.bytes(16)
+    if key[0] & 1:
+        iv = noise
+    return SBOX[key_byte], iv

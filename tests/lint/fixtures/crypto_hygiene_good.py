@@ -1,0 +1,12 @@
+"""Passing fixture: shape checks and public-constant comparisons only."""
+KEY_BYTES = 16
+
+
+def expand(key: bytes | None):
+    if key is None:
+        raise ValueError("key required")
+    if len(key) != KEY_BYTES:
+        raise ValueError("bad key length")
+    if not isinstance(key, bytes):
+        raise TypeError("key must be bytes")
+    return key[0:4]  # slicing INTO the key with public indices is fine

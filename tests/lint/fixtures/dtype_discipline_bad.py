@@ -1,0 +1,8 @@
+"""Failing fixture: defaulted dtypes on the hot path."""
+import numpy as np
+
+
+def buffers(n: int):
+    a = np.zeros(n)
+    b = np.arange(n)
+    return a, b

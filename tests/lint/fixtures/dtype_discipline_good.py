@@ -1,0 +1,9 @@
+"""Passing fixture: every hot allocation states its dtype."""
+import numpy as np
+
+
+def buffers(n: int):
+    a = np.zeros(n, dtype=np.uint64)
+    b = np.empty(n, np.uint8)  # positional dtype counts for zeros/empty
+    c = np.arange(n, dtype=np.int64)
+    return a, b, c

@@ -1,0 +1,9 @@
+"""Failing fixture: native-endian format, undocumented format, bad magic."""
+import struct
+
+_MAGIC = b"XXXX"
+_HEADER = struct.Struct("IB")
+
+
+def pack(a: int, b: int) -> bytes:
+    return struct.pack("<QQ", a, b)

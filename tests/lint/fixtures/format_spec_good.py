@@ -1,0 +1,5 @@
+"""Passing fixture: documented magic and struct format."""
+import struct
+
+MAGIC = b"SECZ"
+_HEADER = struct.Struct("<IB")

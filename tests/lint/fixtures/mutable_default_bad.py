@@ -1,0 +1,7 @@
+"""Failing fixture: shared list/dict defaults."""
+
+
+def collect(item, into=[], *, index={}):
+    into.append(item)
+    index[item] = len(into)
+    return into

@@ -1,0 +1,8 @@
+"""Passing fixture: None default, allocated inside."""
+
+
+def collect(item, into=None, *, tags=()):
+    if into is None:
+        into = []
+    into.append((item, tags))
+    return into

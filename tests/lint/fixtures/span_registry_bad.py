@@ -1,0 +1,8 @@
+"""Failing fixture: 'mystery' is not a documented span name."""
+
+
+def run(tr, trace):
+    with tr.span("mystery"):
+        pass
+    wrapper = trace.Span(name="also_mystery", attrs={})
+    return wrapper

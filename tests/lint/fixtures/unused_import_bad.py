@@ -1,0 +1,7 @@
+"""Failing fixture: math is imported and never used."""
+import math
+import struct
+
+
+def head() -> bytes:
+    return struct.pack("<B", 0)

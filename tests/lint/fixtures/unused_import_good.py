@@ -1,0 +1,12 @@
+"""Passing fixture: every import referenced (incl. string annotations)."""
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+
+def head(fmt: "struct.Struct") -> bytes:
+    return fmt.pack()
+
+
+__all__ = ["head", "dataclass"]

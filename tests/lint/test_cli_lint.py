@@ -1,0 +1,93 @@
+"""``secz lint`` CLI: exit codes, JSON stability, rule selection."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro import cli
+from repro.lint.rules import rule_names
+from repro.lint.walker import SCHEMA
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def make_repo(tmp_path: Path, *fixtures: str) -> Path:
+    """A tiny repo whose src/ holds the named fixtures."""
+    root = tmp_path / "repo"
+    (root / "src" / "repro").mkdir(parents=True)
+    (root / "pyproject.toml").write_text("[project]\nname = 'fixture'\n")
+    for fixture in fixtures:
+        dest = root / "src" / "repro" / fixture
+        dest.write_text((FIXTURES / fixture).read_text())
+    return root
+
+
+def lint_argv(root: Path, *extra: str) -> list[str]:
+    return ["lint", str(root / "src"), "--root", str(root), *extra]
+
+
+def test_clean_tree_exits_zero(tmp_path, capsys):
+    root = make_repo(tmp_path, "bare_except_good.py")
+    assert cli.main(lint_argv(root)) == 0
+    assert "0 findings" in capsys.readouterr().out
+
+
+def test_findings_exit_one_with_locations(tmp_path, capsys):
+    root = make_repo(tmp_path, "bare_except_bad.py", "assert_stmt_bad.py")
+    assert cli.main(lint_argv(root)) == 1
+    out = capsys.readouterr().out
+    assert "[bare-except]" in out
+    assert "[assert-stmt]" in out
+    assert "src/repro/bare_except_bad.py:8:" in out
+
+
+def test_json_output_is_stable_and_parseable(tmp_path, capsys):
+    root = make_repo(tmp_path, "bare_except_bad.py", "assert_stmt_bad.py")
+    assert cli.main(lint_argv(root, "--format", "json")) == 1
+    first = capsys.readouterr().out
+    assert cli.main(lint_argv(root, "--format", "json")) == 1
+    second = capsys.readouterr().out
+    assert first == second, "json report must be deterministic"
+    doc = json.loads(first)
+    assert doc["schema"] == SCHEMA
+    assert doc["files_checked"] == 2
+    assert doc["counts"] == {"assert-stmt": 1, "bare-except": 1}
+    assert [set(f) for f in doc["findings"]] == [
+        {"path", "line", "rule", "message"}
+    ] * 2
+    assert doc["findings"] == sorted(
+        doc["findings"], key=lambda f: (f["path"], f["line"], f["rule"])
+    )
+
+
+def test_disable_skips_a_rule(tmp_path):
+    root = make_repo(tmp_path, "bare_except_bad.py")
+    assert cli.main(lint_argv(root, "--disable", "bare-except")) == 0
+
+
+def test_enable_restricts_to_named_rules(tmp_path):
+    root = make_repo(tmp_path, "bare_except_bad.py", "assert_stmt_bad.py")
+    assert cli.main(lint_argv(root, "--enable", "bare-except")) == 1
+    assert cli.main(
+        lint_argv(root, "--enable", "mutable-default")
+    ) == 0
+
+
+def test_unknown_rule_fails_loudly(tmp_path):
+    root = make_repo(tmp_path, "bare_except_good.py")
+    with pytest.raises(SystemExit, match="unknown rule"):
+        cli.main(lint_argv(root, "--disable", "no-such-rule"))
+
+
+def test_list_rules(capsys):
+    assert cli.main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for name in rule_names():
+        assert name in out
+
+
+def test_nonexistent_path_fails_loudly(tmp_path):
+    root = make_repo(tmp_path, "bare_except_good.py")
+    with pytest.raises(SystemExit):
+        cli.main(["lint", str(root / "README.md"), "--root", str(root)])

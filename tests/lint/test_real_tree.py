@@ -1,0 +1,71 @@
+"""The tier-1 bridge: the linter must pass over the real ``src/`` tree,
+and the doc/fixture registry parsers must see the real ground truth.
+
+This is the test that makes a broken invariant — an unregistered
+counter key, an edited magic byte, an undocumented span — fail the
+ordinary test suite, not just ``secz lint``.
+"""
+
+from pathlib import Path
+
+from repro import lint
+from repro.core import trace
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def test_repo_root_detected():
+    assert lint.find_repo_root(Path(__file__)) == REPO
+    assert (REPO / "pyproject.toml").exists()
+
+
+def test_src_tree_is_lint_clean():
+    report = lint.lint_paths([REPO / "src"], root=REPO)
+    assert report.findings == [], "\n" + report.format_text()
+    assert report.files_checked > 50
+    assert len(report.rules_run) >= 6
+
+
+def test_documented_counters_match_registry():
+    repo = lint.RepoContext(REPO)
+    assert repo.documented_counters == frozenset(trace.KNOWN_COUNTERS)
+    assert "predict.sample_points" in repo.documented_counters
+    assert "quantize.repair_passes" in repo.documented_counters
+
+
+def test_documented_spans_cover_fixture_spans():
+    repo = lint.RepoContext(REPO)
+    assert {"compress", "sz.compress", "quantize", "huffman_decode",
+            "slab"} <= repo.documented_spans
+    assert repo.fixture_spans <= repo.documented_spans
+    assert "compress" in repo.fixture_spans
+
+
+def test_documented_formats_parsed():
+    repo = lint.RepoContext(REPO)
+    assert {"4sBBBB16sB", "BQ", "4sBBBBBBIdqQQ", "IB", "4sHII", "4sI",
+            "QB", "B", "H", "Q"} <= repo.documented_structs
+    assert repo.documented_magics == {
+        "SECZ", "SECA", "SECB", "SECM", "SZfr", "HLT1"
+    }
+
+
+def test_breaking_an_invariant_is_caught(tmp_path):
+    """An unregistered counter key in src/ must produce findings."""
+    root = tmp_path / "repo"
+    offender = root / "src" / "repro" / "offender.py"
+    offender.parent.mkdir(parents=True)
+    (root / "pyproject.toml").write_text("")
+    offender.write_text(
+        "from repro.core import trace\n"
+        "trace.count('rogue.counter', 1)\n"
+    )
+    repo = lint.RepoContext(
+        root,
+        known_counters=frozenset(trace.KNOWN_COUNTERS),
+        documented_counters=lint.RepoContext(REPO).documented_counters,
+    )
+    runner = lint.LintRunner(lint.get_rules(enable=["counter-registry"]), repo)
+    report = runner.run([root / "src"])
+    assert report.exit_code == 1
+    assert any("rogue.counter" in f.message for f in report.findings)

@@ -1,0 +1,205 @@
+"""Per-rule fixture tests: every rule passes its good snippet and
+fires on its bad one.
+
+Each case copies a fixture from ``tests/lint/fixtures/`` into a tiny
+synthetic repo at the relpath the rule scopes to, injects synthetic
+doc/fixture registries into :class:`RepoContext`, and runs just that
+rule.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint.rules import ALL_RULES
+from repro.lint.rules.counters import CounterRegistryRule
+from repro.lint.rules.crypto import CryptoHygieneRule
+from repro.lint.rules.dtype import DtypeDisciplineRule
+from repro.lint.rules.formats import FormatSpecRule
+from repro.lint.rules.hygiene import (
+    AssertStmtRule,
+    BareExceptRule,
+    MutableDefaultRule,
+    UnusedImportRule,
+)
+from repro.lint.rules.spans import SpanRegistryRule
+from repro.lint.walker import LintRunner, RepoContext
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+#: rule class, fixture stem, relpath the snippet lands at, and the
+#: RepoContext injections the rule's ground truth comes from.
+CASES = [
+    (
+        CounterRegistryRule, "counter_registry", "src/repro/sz/mod.py",
+        dict(
+            known_counters=frozenset({"test.known"}),
+            documented_counters=frozenset({"test.known"}),
+        ),
+    ),
+    (
+        SpanRegistryRule, "span_registry", "src/repro/core/mod.py",
+        dict(
+            documented_spans=frozenset({"compress", "quantize"}),
+            fixture_spans=frozenset({"compress"}),
+        ),
+    ),
+    (
+        FormatSpecRule, "format_spec", "src/repro/core/container.py",
+        dict(
+            documented_structs=frozenset({"IB"}),
+            documented_magics=frozenset({"SECZ"}),
+        ),
+    ),
+    (CryptoHygieneRule, "crypto_hygiene", "src/repro/crypto/mod.py", {}),
+    (DtypeDisciplineRule, "dtype_discipline", "src/repro/sz/huffman.py", {}),
+    (BareExceptRule, "bare_except", "src/repro/io.py", {}),
+    (MutableDefaultRule, "mutable_default", "src/repro/io.py", {}),
+    (AssertStmtRule, "assert_stmt", "src/repro/io.py", {}),
+    (UnusedImportRule, "unused_import", "src/repro/io.py", {}),
+]
+
+
+def make_repo(tmp_path: Path, relpath: str, fixture: str,
+              **registries) -> tuple[RepoContext, Path]:
+    root = tmp_path / "repo"
+    (root / "docs").mkdir(parents=True, exist_ok=True)
+    (root / "pyproject.toml").write_text("[project]\nname = 'fixture'\n")
+    dest = root / relpath
+    dest.parent.mkdir(parents=True, exist_ok=True)
+    dest.write_text((FIXTURES / fixture).read_text())
+    return RepoContext(root, **registries), dest
+
+
+def run_rule(rule_cls, repo: RepoContext, target: Path):
+    return LintRunner([rule_cls()], repo).run([target])
+
+
+def test_cases_cover_every_shipped_rule():
+    assert {cls for cls, *_ in CASES} == set(ALL_RULES)
+
+
+@pytest.mark.parametrize(
+    "rule_cls, stem, relpath, registries", CASES,
+    ids=[cls.name for cls, *_ in CASES],
+)
+def test_good_fixture_passes(rule_cls, stem, relpath, registries, tmp_path):
+    repo, target = make_repo(tmp_path, relpath, f"{stem}_good.py", **registries)
+    report = run_rule(rule_cls, repo, target)
+    assert report.findings == [], report.format_text()
+    assert report.exit_code == 0
+
+
+@pytest.mark.parametrize(
+    "rule_cls, stem, relpath, registries", CASES,
+    ids=[cls.name for cls, *_ in CASES],
+)
+def test_bad_fixture_fires(rule_cls, stem, relpath, registries, tmp_path):
+    repo, target = make_repo(tmp_path, relpath, f"{stem}_bad.py", **registries)
+    report = run_rule(rule_cls, repo, target)
+    assert report.findings, f"{rule_cls.name} did not fire on {stem}_bad.py"
+    assert report.exit_code == 1
+    assert all(f.rule == rule_cls.name for f in report.findings)
+    assert all(f.line > 0 for f in report.findings)
+
+
+def test_crypto_bad_fixture_finds_each_category(tmp_path):
+    repo, target = make_repo(
+        tmp_path, "src/repro/crypto/mod.py", "crypto_hygiene_bad.py"
+    )
+    messages = " | ".join(
+        f.message for f in run_rule(CryptoHygieneRule, repo, target).findings
+    )
+    assert "import of 'random'" in messages
+    assert "numpy.random" in messages
+    assert "branch on secret-looking value" in messages
+    assert "table index from secret-looking value" in messages
+
+
+def test_rules_scope_to_their_modules(tmp_path):
+    """The same bad code outside a rule's scope produces no findings."""
+    repo, target = make_repo(
+        tmp_path, "src/repro/datasets/mod.py", "dtype_discipline_bad.py"
+    )
+    assert run_rule(DtypeDisciplineRule, repo, target).findings == []
+    repo, target = make_repo(
+        tmp_path, "tools/script.py", "bare_except_bad.py"
+    )
+    assert run_rule(BareExceptRule, repo, target).findings == []
+
+
+def test_line_pragma_suppresses(tmp_path):
+    source = (FIXTURES / "bare_except_bad.py").read_text().replace(
+        "except:", "except:  # lint: disable=bare-except"
+    )
+    root = tmp_path / "repo"
+    (root / "src" / "repro").mkdir(parents=True)
+    (root / "pyproject.toml").write_text("")
+    target = root / "src" / "repro" / "io.py"
+    target.write_text(source)
+    report = run_rule(BareExceptRule, RepoContext(root), target)
+    assert report.findings == []
+
+
+def test_file_pragma_suppresses(tmp_path):
+    source = "# lint: disable-file=assert-stmt\n" + (
+        FIXTURES / "assert_stmt_bad.py"
+    ).read_text()
+    root = tmp_path / "repo"
+    (root / "src" / "repro").mkdir(parents=True)
+    (root / "pyproject.toml").write_text("")
+    target = root / "src" / "repro" / "io.py"
+    target.write_text(source)
+    report = run_rule(AssertStmtRule, RepoContext(root), target)
+    assert report.findings == []
+
+
+def test_syntax_error_reported_not_raised(tmp_path):
+    root = tmp_path / "repo"
+    (root / "src").mkdir(parents=True)
+    (root / "pyproject.toml").write_text("")
+    target = root / "src" / "broken.py"
+    target.write_text("def broken(:\n")
+    report = run_rule(BareExceptRule, RepoContext(root), target)
+    assert [f.rule for f in report.findings] == ["parse-error"]
+    assert report.exit_code == 1
+
+
+def test_counter_finalize_vice_versa(tmp_path):
+    """On a full scan, registry/doc/usage drift is reported both ways."""
+    root = tmp_path / "repo"
+    trace_py = root / "src" / "repro" / "core" / "trace.py"
+    trace_py.parent.mkdir(parents=True)
+    (root / "pyproject.toml").write_text("")
+    trace_py.write_text("KNOWN_COUNTERS = ('a.used', 'b.unused')\n")
+    user = root / "src" / "repro" / "user.py"
+    user.write_text(
+        "from repro.core import trace\n"
+        "trace.count('a.used', 1)\n"
+    )
+    repo = RepoContext(
+        root,
+        known_counters=frozenset({"a.used", "b.unused"}),
+        documented_counters=frozenset({"a.used", "c.docs_only"}),
+    )
+    report = LintRunner([CounterRegistryRule()], repo).run([root / "src"])
+    messages = " | ".join(f.message for f in report.findings)
+    assert "'b.unused' is missing from the docs" in messages
+    assert "'c.docs_only' is not in trace.KNOWN_COUNTERS" in messages
+    assert "'b.unused' is never incremented" in messages
+    assert "'a.used'" not in messages
+
+
+def test_span_finalize_flags_undocumented_fixture_span(tmp_path):
+    root = tmp_path / "repo"
+    trace_py = root / "src" / "repro" / "core" / "trace.py"
+    trace_py.parent.mkdir(parents=True)
+    (root / "pyproject.toml").write_text("")
+    trace_py.write_text("# the full-scan proxy\n")
+    repo = RepoContext(
+        root,
+        documented_spans=frozenset({"compress"}),
+        fixture_spans=frozenset({"compress", "renamed_span"}),
+    )
+    report = LintRunner([SpanRegistryRule()], repo).run([root / "src"])
+    assert any("renamed_span" in f.message for f in report.findings)
