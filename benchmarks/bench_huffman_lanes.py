@@ -29,6 +29,7 @@ import tracemalloc
 
 import numpy as np
 
+from repro.core import trace
 from repro.datasets import generate
 from repro.sz import fastdecode, huffman
 from repro.sz.bitstream import concat_streams, pack_codes, pack_codes_ref
@@ -94,11 +95,59 @@ def main() -> dict:
         "field_mb": round(field_mb, 3),
         "n_symbols": n,
         "repeats": REPEATS,
+        "tree_build_ms": {},
+        "codec_cache": {},
         "encode_mb_per_s": {},
         "encode_peak_alloc_mb": {},
         "decode_mb_per_s": {},
         "decode_msym_per_s": {},
     }
+
+    # ------------------------------------------------------------------
+    # Tree build: the retired heapq construction vs the two-queue O(n)
+    # build, on the frame's real frequency table (bit-identical output
+    # is pinned by tests/sz/test_huffman_diff.py).
+    # ------------------------------------------------------------------
+    symbols, counts = np.unique(flat_codes, return_counts=True)
+    result["alphabet_size"] = int(symbols.size)
+    result["max_code_len"] = int(code.lengths.max())
+    secs = _best_seconds(lambda: huffman._huffman_lengths_ref(counts))
+    result["tree_build_ms"]["heapq_ref"] = round(secs * 1e3, 3)
+    secs = _best_seconds(lambda: huffman._huffman_lengths(counts))
+    result["tree_build_ms"]["two_queue"] = round(secs * 1e3, 3)
+    result["tree_build_ms"]["speedup"] = round(
+        result["tree_build_ms"]["heapq_ref"]
+        / max(result["tree_build_ms"]["two_queue"], 1e-9),
+        2,
+    )
+
+    # ------------------------------------------------------------------
+    # Codec cache: cold-vs-warm full compress, plus the frame-drift
+    # guard CI relies on — a warm cache must not change a single frame
+    # byte.
+    # ------------------------------------------------------------------
+    huffman.codec_cache_clear()
+    before = trace.counters_snapshot()
+    cold = comp.compress(field)
+    warm = comp.compress(field)
+    after = trace.counters_snapshot()
+    hits = after.get("huffman.codec_cache_hits", 0) - before.get(
+        "huffman.codec_cache_hits", 0
+    )
+    misses = after.get("huffman.codec_cache_misses", 0) - before.get(
+        "huffman.codec_cache_misses", 0
+    )
+    assert cold.sections == warm.sections, (
+        "frame drift: warm codec cache changed the emitted bytes"
+    )
+    assert cold.sections == frame.sections, (
+        "frame drift: repeat compress changed the emitted bytes"
+    )
+    result["codec_cache"]["hits"] = int(hits)
+    result["codec_cache"]["misses"] = int(misses)
+    result["codec_cache"]["hit_rate"] = round(
+        hits / max(hits + misses, 1), 4
+    )
 
     # ------------------------------------------------------------------
     # Encode: reference bit-plane packer vs the word-packed kernel, on
@@ -169,6 +218,43 @@ def main() -> dict:
         / result["decode_mb_per_s"]["single_stream"],
         2,
     )
+
+    # ------------------------------------------------------------------
+    # Length-limited (miss-free) path: cap code depth at
+    # DEPTH_LIMIT_BITS so the full-coverage 64-bit kernel decodes with
+    # zero primary-table misses, and measure the rate cost alongside.
+    # ------------------------------------------------------------------
+    if symbols.size <= (1 << huffman.DEPTH_LIMIT_BITS):
+        dl_code = huffman.build_code(
+            symbols, counts, max_len=huffman.DEPTH_LIMIT_BITS
+        )
+        result["max_code_len_limited"] = int(dl_code.lengths.max())
+        _, stride = huffman.choose_lane_params(n, packed.n_bits)
+        enc = huffman.encode_lanes(flat_codes, dl_code, 16, stride)
+        dl_bytes = concat_streams(list(enc.lanes))
+        dl_table = enc.table
+        assert np.array_equal(
+            fastdecode.decode_lanes(dl_bytes, dl_code, dl_table, n),
+            flat_codes,
+        )
+        result["limited_rate_overhead_pct"] = round(
+            (enc.n_bits / packed.n_bits - 1) * 100, 3
+        )
+        secs = _best_seconds(
+            lambda: huffman.encode_lanes(flat_codes, dl_code, 16, stride)
+        )
+        result["encode_mb_per_s"]["lanes_16_limited"] = round(
+            field_mb / secs, 2
+        )
+        secs = _best_seconds(
+            lambda: fastdecode.decode_lanes(dl_bytes, dl_code, dl_table, n)
+        )
+        result["decode_mb_per_s"]["lanes_16_limited"] = round(
+            field_mb / secs, 2
+        )
+        result["decode_msym_per_s"]["lanes_16_limited"] = round(
+            n / secs / 1e6, 2
+        )
     with open(os.path.abspath(OUT_PATH), "w") as fh:
         json.dump(result, fh, indent=2)
         fh.write("\n")

@@ -73,10 +73,12 @@ class SecureCompressor:
         16-byte AES-128 key; required by every scheme except ``none``.
     cipher_mode:
         ``"cbc"`` (paper's choice) or ``"ctr"`` (mode ablation).
-    predictor, block_size, coverage, encode_workers:
+    predictor, block_size, coverage, encode_workers, depth_limit:
         Forwarded to :class:`~repro.sz.compressor.SZCompressor`
-        (``encode_workers`` packs v3 Huffman lanes on a thread pool;
-        the emitted bytes are identical for any worker count).
+        (``encode_workers`` packs v3 Huffman lanes on a thread pool
+        with byte-identical output for any worker count;
+        ``depth_limit`` opts into length-limited canonical codes so
+        decode never leaves the fast table).
     zlib_level:
         Lossless-stage effort (0-9).
     authenticate:
@@ -111,6 +113,7 @@ class SecureCompressor:
         block_size: int = 8,
         coverage: float = 0.995,
         encode_workers: int = 1,
+        depth_limit: int | None = None,
         zlib_level: int = DEFAULT_LEVEL,
         authenticate: bool = False,
         random_state: np.random.Generator | None = None,
@@ -134,6 +137,7 @@ class SecureCompressor:
             block_size=block_size,
             coverage=coverage,
             encode_workers=encode_workers,
+            depth_limit=depth_limit,
         )
         self.zlib_level = zlib_level
         self._random_state = random_state

@@ -42,6 +42,7 @@ class _Config:
     zlib_level: int
     authenticate: bool = False
     encode_workers: int = 1
+    depth_limit: int | None = None
 
     def build(self, seed: int | None = None) -> SecureCompressor:
         rng = np.random.default_rng(seed) if seed is not None else None
@@ -54,6 +55,7 @@ class _Config:
             zlib_level=self.zlib_level,
             authenticate=self.authenticate,
             encode_workers=self.encode_workers,
+            depth_limit=self.depth_limit,
             random_state=rng,
         )
 
@@ -102,6 +104,10 @@ class ChunkedSecureCompressor:
         (forwarded to each slab's :class:`SecureCompressor`).  The
         output bytes are identical for any value, so process- and
         thread-level parallelism compose freely.
+    depth_limit:
+        Optional per-slab Huffman code-depth cap (forwarded to each
+        slab's :class:`SecureCompressor`); flagged frames decode on
+        the miss-free kernel.
     """
 
     def __init__(
@@ -118,6 +124,7 @@ class ChunkedSecureCompressor:
         n_workers: int = 4,
         base_seed: int | None = None,
         encode_workers: int = 1,
+        depth_limit: int | None = None,
     ) -> None:
         if n_chunks < 1:
             raise ValueError("n_chunks must be positive")
@@ -132,6 +139,7 @@ class ChunkedSecureCompressor:
             zlib_level=zlib_level,
             authenticate=authenticate,
             encode_workers=encode_workers,
+            depth_limit=depth_limit,
         )
         self.n_chunks = n_chunks
         self.n_workers = n_workers

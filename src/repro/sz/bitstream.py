@@ -28,6 +28,7 @@ __all__ = [
     "concat_streams",
     "lane_byte_lengths",
     "sliding_window_u32",
+    "sliding_window_u64",
 ]
 
 
@@ -74,6 +75,34 @@ def _check_code_table(codes: np.ndarray, lengths: np.ndarray) -> None:
 #: peak memory stays dominated by the output words, not the scratch.
 _PACK_CHUNK = 1 << 15
 
+#: Below this many codewords pair fusion costs more in extra passes
+#: than it saves in kernel elements, so ``pack_codes`` skips it.
+_FUSE_MIN = 1 << 12
+
+
+def _fuse_pairs(
+    codes: np.ndarray, lengths: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Merge adjacent codeword pairs into single wider codewords.
+
+    Bitstream concatenation is associative, so packing the fused pair
+    ``(codes[0] << lengths[1]) | codes[1]`` with length ``lengths[0] +
+    lengths[1]`` emits exactly the same bits as packing the two
+    codewords separately — but halves the element count every
+    downstream kernel pass sees.  Requires codewords already masked to
+    their lengths (stray high bits would leak into the partner's slot).
+    A trailing unpaired codeword is carried through unchanged.
+    """
+    m = codes.size >> 1
+    c2 = codes[: 2 * m].reshape(m, 2)
+    l2 = lengths[: 2 * m].reshape(m, 2)
+    fused = (c2[:, 0] << l2[:, 1].astype(np.uint64)) | c2[:, 1]
+    flen = l2[:, 0] + l2[:, 1]
+    if codes.size & 1:
+        fused = np.concatenate([fused, codes[-1:]])
+        flen = np.concatenate([flen, lengths[-1:]])
+    return fused, flen
+
 
 def pack_codes(codes: np.ndarray, lengths: np.ndarray) -> PackedBits:
     """Concatenate variable-length codewords MSB-first into a bit string.
@@ -105,6 +134,22 @@ def pack_codes(codes: np.ndarray, lengths: np.ndarray) -> PackedBits:
 
     total_bits = int(lengths.sum())
     n_words = (total_bits + 63) >> 6
+
+    # The contract reads only the low `lengths[i]` bits of each
+    # codeword (like the reference packer); mask once up front so
+    # stray high bits cannot leak into neighboring slots, and so the
+    # fusion rounds below can OR pairs together safely.
+    codes = codes & (
+        ~np.uint64(0) >> (np.uint64(64) - lengths.astype(np.uint64))
+    )
+    # Fuse adjacent pairs while every fused codeword still fits in 64
+    # bits: canonical Huffman tables cap lengths at 24 (16 when
+    # depth-limited), so large streams shrink 2-4x before the word
+    # kernel runs, with byte-identical output.
+    max_len = int(lengths.max())
+    while codes.size >= _FUSE_MIN and 2 * max_len <= 64:
+        codes, lengths = _fuse_pairs(codes, lengths)
+        max_len *= 2
     words = np.zeros(n_words, dtype=np.uint64)
     # Bit offsets are accumulated chunk-locally (cumsum of the chunk's
     # lengths plus a running base) so no full-stream offset array is
@@ -137,15 +182,12 @@ def _pack_words(
     position ``63 - (p & 63)`` (MSB-first).  With lengths capped at 64
     a codeword spans at most two adjacent words: the head lands in word
     ``starts >> 6`` and any spill (``offset + length > 64``) continues
-    at the top of the next word.
+    at the top of the next word.  Codewords must already be masked to
+    their lengths (``pack_codes`` does this once up front).
     """
     word_idx = starts >> 6
     end_bit = (starts & 63) + lengths  # in-word end position, 1..127
     spill = end_bit - 64
-    # The contract reads only the low `lengths[i]` bits of each
-    # codeword (like the reference packer); mask the rest so stray
-    # high bits cannot leak into neighboring slots.
-    codes = codes & (~np.uint64(0) >> (np.uint64(64) - lengths.astype(np.uint64)))
 
     # Head contribution: codes aligned so their last bit sits at
     # in-word position end_bit-1 — a left shift by (64 - end_bit) when
@@ -258,4 +300,42 @@ def sliding_window_u32(data: bytes, pad_bytes: int = 0) -> np.ndarray:
         | (padded[1:-2] << np.uint32(16))
         | (padded[2:-1] << np.uint32(8))
         | padded[3:]
+    )
+
+
+def sliding_window_u64(data: bytes, pad_bytes: int = 0) -> np.ndarray:
+    """Lazy big-endian 64-bit window at every byte offset of ``data``.
+
+    Logically ``out[i]`` holds bytes ``i..i+7`` MSB-first (missing
+    bytes read as zero), so the ``w`` bits starting at absolute bit
+    position ``p`` are ``(out[p >> 3] >> (64 - w - (p & 7))) &
+    ((1 << w) - 1)`` for any ``w + (p & 7) <= 64``.  The wide window
+    lets the miss-free lane kernel pull several consecutive codewords
+    out of one gather: 57 usable bits cover three 16-bit (or four
+    12-bit) table lookups.
+
+    Physically the return value is a **byte-strided view** over one
+    zero-padded copy of ``data`` — window ``i`` overlaps windows
+    ``i±1`` by 7 bytes, so nothing is materialized beyond the ~n-byte
+    pad buffer (the eager 8-shift construction wrote 8 bytes per input
+    byte and dominated the decode profile).  Two consequences for
+    callers: elements are *native-endian* raw loads, so a gathered
+    slice must be ``byteswap()``-ed (on little-endian hosts; the view
+    is tagged big-endian so numpy does the right thing everywhere) to
+    get the MSB-first value, and the view is unaligned — gather from
+    it, don't compute on it in place.  Dtype is big-endian ``i8``
+    (same bit pattern as u64) because NumPy refuses mixed ``uint64 >>
+    int64`` shifts downstream; the arithmetic sign-fill is harmless
+    since every caller masks the shifted value and shift counts are
+    always >= 1 on the miss-free path.
+
+    ``pad_bytes`` extends the view with zero-filled windows past the
+    end of ``data``, as in :func:`sliding_window_u32`.
+    """
+    raw = np.frombuffer(data, dtype=np.uint8)
+    n = raw.size + pad_bytes
+    padded = np.zeros(n + 8 - (n % 8 or 8) + 8, dtype=np.uint8)
+    padded[: raw.size] = raw
+    return np.lib.stride_tricks.as_strided(
+        padded.view(">i8"), shape=(n,), strides=(1,)
     )

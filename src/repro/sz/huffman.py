@@ -14,14 +14,30 @@ Implementation notes
 * Codes are *canonical*: the tree is fully described by each symbol's
   code length, so the serialized tree is ``(symbols, lengths)`` — far
   smaller than a pointer-based tree dump, and trivially validated.
+* Code lengths come from the O(n) two-queue construction over the
+  frequency-sorted histogram (:func:`_huffman_lengths`); the original
+  ``heapq`` builder survives as :func:`_huffman_lengths_ref`, the
+  differential-test oracle, and the two are *bit-identical* — the
+  two-queue tie-breaking (stable frequency sort, leaf-before-internal
+  on weight ties, FIFO internals) reproduces the heap's exact pop
+  order, so emitted frames and checked-in digests are unchanged.
 * Code lengths are limited to :data:`MAX_CODE_LEN` with a Kraft-sum
   fix-up (the zlib approach).  This keeps the decoder's primary lookup
   table small and bounds the encoder's bit-scatter passes; the rate
   loss versus unrestricted Huffman is negligible for the skewed
-  residual histograms SZ produces.
+  residual histograms SZ produces.  Callers may opt into a tighter
+  *depth limit* (``build_code(..., max_len=...)``, at most
+  :data:`DEPTH_LIMIT_BITS`): lengths then come from package-merge —
+  optimal under the cap — and every codeword fits a fixed-width
+  decode table, so the lane kernel's miss path vanishes.
 * Decoding uses a flat ``2^TABLE_BITS``-entry table: one lookup per
   symbol for all codes up to :data:`TABLE_BITS` bits (the common case);
   longer codes resolve through a canonical first-code search.
+* Everything derived from one code table — decoder tables, the dense
+  encode LUT — hangs off a :class:`CanonicalCodec`, cached process-wide
+  by table digest (:func:`codec_for`), so lanes, repeated
+  ``compress``/``decompress`` calls and chunked-pipeline workers all
+  share one build.
 """
 
 from __future__ import annotations
@@ -42,12 +58,15 @@ from repro.sz.bitstream import PackedBits, pack_codes
 
 __all__ = [
     "HuffmanCode",
+    "CanonicalCodec",
     "LaneEncoding",
     "LaneTable",
     "build_code",
     "encode",
     "encode_lanes",
     "decode",
+    "codec_for",
+    "codec_cache_clear",
     "serialize_tree",
     "deserialize_tree",
     "serialize_lane_tree",
@@ -56,6 +75,7 @@ __all__ = [
     "choose_lane_params",
     "MAX_CODE_LEN",
     "TABLE_BITS",
+    "DEPTH_LIMIT_BITS",
     "MAX_LANES",
 ]
 
@@ -63,6 +83,12 @@ __all__ = [
 MAX_CODE_LEN = 24
 #: Primary decode-table width in bits.
 TABLE_BITS = 12
+#: Widest opt-in depth limit: a ``max_len`` at or below this lets the
+#: lane decode kernel run a full-coverage ``2^max_len`` table (at most
+#: 64 Ki entries, ~1 MB once, amortized by the codec cache) with no
+#: long-code miss path.  Frames carrying the depth-limit flag promise
+#: every code length fits this bound.
+DEPTH_LIMIT_BITS = 16
 #: Hard cap on the interleaved lane count (wire-format sanity bound).
 MAX_LANES = 4096
 
@@ -110,8 +136,14 @@ class HuffmanCode:
         return float((frequencies * self.lengths).sum() / total)
 
 
-def _huffman_lengths(freqs: np.ndarray) -> np.ndarray:
-    """Optimal prefix-code lengths via the classic heap construction."""
+def _huffman_lengths_ref(freqs: np.ndarray) -> np.ndarray:
+    """Optimal prefix-code lengths via the classic heap construction.
+
+    The original implementation, kept as the differential-test oracle
+    for the O(n) two-queue builder (the ``pack_codes_ref`` idiom): the
+    heap's pop order *defines* the tie-breaking the fast path must
+    reproduce for frames to stay bit-identical.
+    """
     n = len(freqs)
     if n == 1:
         return np.array([1], dtype=np.int64)
@@ -133,6 +165,57 @@ def _huffman_lengths(freqs: np.ndarray) -> np.ndarray:
     for node in range(next_id - 2, -1, -1):
         depths[node] = depths[parent[node]] + 1
     return depths[:n]
+
+
+def _huffman_lengths(freqs: np.ndarray) -> np.ndarray:
+    """Optimal prefix-code lengths via the O(n) two-queue construction.
+
+    Merging weights emerge in nondecreasing order, so after one sort of
+    the leaves the two smallest live nodes are always at the front of
+    two queues — no heap needed.  Tie-breaking is chosen to replay
+    :func:`_huffman_lengths_ref` exactly (bit-identical lengths, pinned
+    by ``tests/sz/test_huffman_diff.py``):
+
+    * leaves are stable-sorted by frequency, so equal-frequency leaves
+      merge in symbol order (the heap's ``(freq, leaf_id)`` ordering);
+    * on a leaf/internal weight tie the *leaf* wins (leaf ids sort
+      before the always-larger internal ids in the heap);
+    * internals are consumed FIFO — creation order equals id order,
+      which is the heap's tie-break among equal internal weights.
+    """
+    n = len(freqs)
+    if n == 1:
+        return np.array([1], dtype=np.int64)
+    leaf_order = np.argsort(freqs, kind="stable")
+    lw = freqs[leaf_order].tolist()
+    order = leaf_order.tolist()
+    iw: list[int] = []  # internal weights, FIFO, nondecreasing
+    ipar: list[int] = []  # ipar[j]: parent internal index of internal j
+    lpar = [0] * n  # leaf's parent internal index, by original position
+    li = ii = 0
+    for created in range(n - 1):
+        w = 0
+        for _ in range(2):
+            if li < n and (ii >= created or lw[li] <= iw[ii]):
+                lpar[order[li]] = created
+                w += lw[li]
+                li += 1
+            else:
+                ipar.append(created)
+                w += iw[ii]
+                ii += 1
+        iw.append(w)
+    # Parents are created after their children, so a reverse walk over
+    # the internal nodes sees every parent depth before its children.
+    idepth = [0] * (n - 1)
+    for j in range(n - 3, -1, -1):
+        idepth[j] = idepth[ipar[j]] + 1
+    return (
+        np.asarray(idepth, dtype=np.int64)[
+            np.asarray(lpar, dtype=np.int64)
+        ]
+        + 1
+    )
 
 
 def _limit_lengths(lengths: np.ndarray, freqs: np.ndarray, max_len: int) -> np.ndarray:
@@ -165,8 +248,78 @@ def _limit_lengths(lengths: np.ndarray, freqs: np.ndarray, max_len: int) -> np.n
     return lengths
 
 
-def _canonical_codewords(lengths: np.ndarray) -> np.ndarray:
-    """Assign canonical codewords given lengths (symbols already sorted)."""
+def _rebalance_lengths(
+    lengths: np.ndarray, freqs: np.ndarray, max_len: int
+) -> np.ndarray:
+    """Optimal length-limited code lengths via package-merge.
+
+    Larmore–Hirschberg package-merge in the counting representation:
+    level ``max_len`` holds the frequency-sorted leaves; every
+    shallower level merges the leaves with the pairwise *packages* of
+    the level below, and taking the cheapest ``2n - 2`` items of level
+    1 yields the minimum-redundancy code with no length above
+    ``max_len``.  A leaf's code length is the number of levels whose
+    taken prefix contains it, and because merging preserves sort
+    order, each level only needs *how many* of its items were taken —
+    the leaves among them are always the smallest-frequency prefix.
+    Lengths are then reassigned shortest-to-most-frequent (ties by
+    symbol order, so the result is deterministic).  ``lengths`` (the
+    unconstrained optimum) is consulted only for the fast path: when
+    it already satisfies the cap it is returned unchanged, keeping the
+    shallow-table case free.  Only used for the opt-in depth-limited
+    path; the default :data:`MAX_CODE_LEN` cap keeps the original
+    :func:`_limit_lengths` for bit-identity with historical frames.
+    """
+    n = len(lengths)
+    if n > (1 << max_len):
+        raise ValueError(
+            f"alphabet of {n} symbols cannot satisfy a "
+            f"{max_len}-bit depth limit"
+        )
+    if int(lengths.max()) <= max_len:
+        return np.minimum(lengths, max_len)
+    leaf_order = np.argsort(freqs, kind="stable")
+    leaves = freqs[leaf_order].astype(np.int64)
+    # Build levels deepest-first.  Each level keeps the merged item
+    # weights plus a flag array marking which items are packages; ties
+    # put leaves first (any tie-break is optimal, this one is simply
+    # deterministic).
+    weights = leaves
+    flags: list[np.ndarray] = [np.zeros(n, dtype=bool)]
+    for _ in range(max_len - 1):
+        m = weights.size >> 1
+        pkg = weights[: 2 * m].reshape(m, 2).sum(axis=1)
+        merged = np.concatenate([leaves, pkg])
+        is_pkg = np.zeros(merged.size, dtype=bool)
+        is_pkg[n:] = True
+        order = np.lexsort((is_pkg, merged))
+        weights = merged[order]
+        flags.append(is_pkg[order])
+    # Walk back down: take the cheapest 2n - 2 items at level 1; every
+    # package among a level's taken prefix expands to two items of the
+    # level below.  The leaves in the prefix are the t - c smallest,
+    # each one level deeper.
+    out_sorted = np.zeros(n, dtype=np.int64)
+    take = 2 * n - 2
+    for is_pkg in reversed(flags):
+        if take <= 0:  # pragma: no cover - cannot happen for n >= 2
+            break
+        n_pkg = int(is_pkg[:take].sum())
+        out_sorted[: take - n_pkg] += 1
+        take = 2 * n_pkg
+    # Reassign: most frequent symbols get the shortest lengths.
+    counts = np.bincount(out_sorted, minlength=max_len + 1).astype(np.int64)
+    order = np.lexsort((np.arange(n, dtype=np.int64), -freqs))
+    out = np.empty(n, dtype=np.int64)
+    out[order] = np.repeat(
+        np.arange(max_len + 1, dtype=np.int64), counts
+    )
+    return out
+
+
+def _canonical_codewords_ref(lengths: np.ndarray) -> np.ndarray:
+    """Per-symbol canonical assignment loop (the original), kept as the
+    oracle for the vectorized :func:`_canonical_codewords`."""
     order = np.lexsort((np.arange(len(lengths), dtype=np.int64), lengths))
     codes = np.zeros(len(lengths), dtype=np.uint64)
     code = 0
@@ -180,7 +333,42 @@ def _canonical_codewords(lengths: np.ndarray) -> np.ndarray:
     return codes
 
 
-def build_code(symbols: np.ndarray, frequencies: np.ndarray) -> HuffmanCode:
+def _canonical_codewords(lengths: np.ndarray) -> np.ndarray:
+    """Assign canonical codewords given lengths (symbols already sorted).
+
+    Canonical code ``i`` is ``first_code[l] + rank`` where ``rank`` is
+    the symbol's position among equal-length symbols (symbol order) and
+    ``first_code[l] = (first_code[l-1] + count[l-1]) << 1`` — a loop of
+    at most ``max_len`` scalar steps plus three vectorized passes,
+    replacing the per-symbol Python loop of
+    :func:`_canonical_codewords_ref` (bit-identical by construction,
+    pinned differentially).
+    """
+    lengths = np.asarray(lengths, dtype=np.int64)
+    n = len(lengths)
+    if n == 0:
+        return np.empty(0, dtype=np.uint64)
+    max_len = int(lengths.max())
+    counts = np.bincount(lengths, minlength=max_len + 1)
+    first = np.zeros(max_len + 1, dtype=np.uint64)
+    c = 0
+    for ln in range(1, max_len + 1):
+        c = (c + int(counts[ln - 1])) << 1
+        first[ln] = c
+    order = np.argsort(lengths, kind="stable")
+    group_start = np.cumsum(counts) - counts
+    ranks = np.arange(n, dtype=np.int64) - group_start[lengths[order]]
+    codes = np.empty(n, dtype=np.uint64)
+    codes[order] = first[lengths[order]] + ranks.astype(np.uint64)
+    return codes
+
+
+def build_code(
+    symbols: np.ndarray,
+    frequencies: np.ndarray,
+    *,
+    max_len: int | None = None,
+) -> HuffmanCode:
     """Build a length-limited canonical Huffman code.
 
     Parameters
@@ -189,9 +377,21 @@ def build_code(symbols: np.ndarray, frequencies: np.ndarray) -> HuffmanCode:
         Distinct symbol values (will be sorted internally).
     frequencies:
         Positive occurrence counts aligned with ``symbols``.
+    max_len:
+        Optional depth limit in ``1..DEPTH_LIMIT_BITS``.  When given,
+        every code length is rebalanced to at most ``max_len`` bits
+        (:func:`_rebalance_lengths`), which lets the decode kernel use
+        a full-coverage table with no miss path; raises ``ValueError``
+        if the alphabet cannot fit (``n_symbols > 2**max_len``).  The
+        default ``None`` keeps the historical :data:`MAX_CODE_LEN` cap
+        and is bit-identical to prior releases.
     """
     symbols = np.asarray(symbols, dtype=np.int64)
     frequencies = np.asarray(frequencies, dtype=np.int64)
+    if max_len is not None and not 1 <= max_len <= DEPTH_LIMIT_BITS:
+        raise ValueError(
+            f"max_len must be in 1..{DEPTH_LIMIT_BITS} (got {max_len})"
+        )
     if symbols.size == 0:
         return HuffmanCode(
             symbols=symbols,
@@ -210,7 +410,10 @@ def build_code(symbols: np.ndarray, frequencies: np.ndarray) -> HuffmanCode:
     if np.unique(symbols).size != symbols.size:
         raise ValueError("symbols must be distinct")
     lengths = _huffman_lengths(frequencies)
-    lengths = _limit_lengths(lengths, frequencies, MAX_CODE_LEN)
+    if max_len is None:
+        lengths = _limit_lengths(lengths, frequencies, MAX_CODE_LEN)
+    else:
+        lengths = _rebalance_lengths(lengths, frequencies, max_len)
     codewords = _canonical_codewords(lengths)
     return HuffmanCode(
         symbols=symbols,
@@ -224,12 +427,9 @@ def encode(values: np.ndarray, code: HuffmanCode) -> PackedBits:
     values = np.ravel(np.asarray(values, dtype=np.int64))
     if values.size == 0:
         return PackedBits(data=b"", n_bits=0)
-    idx = np.searchsorted(code.symbols, values)
-    idx = np.clip(idx, 0, code.n_symbols - 1)
-    if not np.array_equal(code.symbols[idx], values):
-        raise ValueError("value outside the code's alphabet")
+    codewords, lengths = codec_for(code).lookup(values)
     trace.count("huffman.encode_lanes", 1)
-    return pack_codes(code.codewords[idx], code.lengths[idx])
+    return pack_codes(codewords, lengths)
 
 
 def serialize_tree(code: HuffmanCode) -> bytes:
@@ -269,8 +469,9 @@ def deserialize_tree(data: bytes) -> HuffmanCode:
         raise ValueError("serialized tree contains duplicate symbols")
     if lengths.min() < 1 or lengths.max() != max_len:
         raise ValueError("serialized tree lengths are inconsistent")
-    codewords = _canonical_codewords(lengths.astype(np.int64))
-    return HuffmanCode(symbols=symbols.copy(), lengths=lengths.copy(), codewords=codewords)
+    # The codec cache short-circuits codeword recomputation (and any
+    # decoder tables built later) for repeat decodes under one table.
+    return codec_from_table(symbols.copy(), lengths.copy()).code
 
 
 # ----------------------------------------------------------------------
@@ -369,12 +570,21 @@ def _encode_one_lane(
     optional thread-pool encode path.
     """
     packed = pack_codes(codewords, lane_lens)
-    ends = np.cumsum(lane_lens)
-    n_bits = int(ends[-1]) if ends.size else 0
+    n = lane_lens.size
+    n_bits = int(lane_lens.sum()) if n else 0
     # Bit offset where codeword anchor_stride, 2*anchor_stride, ...
-    # begins: the boundary *after* the preceding codeword.
-    anchors = ends[anchor_stride - 1 : ends.size - 1 : anchor_stride]
-    return packed, n_bits, np.asarray(anchors, dtype=np.int64)
+    # begins: the boundary *after* the preceding codeword.  Only every
+    # anchor_stride-th prefix sum is needed, so sum stride-sized blocks
+    # and cumsum those instead of materializing the full prefix array.
+    n_anchors = max(0, -(-n // anchor_stride) - 1)
+    if n_anchors:
+        blocks = lane_lens[: n_anchors * anchor_stride].reshape(
+            n_anchors, anchor_stride
+        )
+        anchors = np.cumsum(blocks.sum(axis=1, dtype=np.int64))
+    else:
+        anchors = np.empty(0, dtype=np.int64)
+    return packed, n_bits, anchors
 
 
 def encode_lanes(
@@ -413,12 +623,7 @@ def encode_lanes(
             anchors=(np.empty(0, dtype=np.int64),),
         )
         return LaneEncoding(lanes=(PackedBits(data=b"", n_bits=0),), table=table)
-    idx = np.searchsorted(code.symbols, values)
-    idx = np.clip(idx, 0, code.n_symbols - 1)
-    if not np.array_equal(code.symbols[idx], values):
-        raise ValueError("value outside the code's alphabet")
-    lengths = code.lengths[idx].astype(np.int64)
-    codewords = code.codewords[idx]
+    codewords, lengths = codec_for(code).lookup(values)
 
     bounds = np.concatenate([[0], np.cumsum(lane_sizes(values.size, n_lanes))])
     slices = [
@@ -529,6 +734,35 @@ def deserialize_lane_tree(data: bytes, n_values: int) -> tuple[HuffmanCode, Lane
     return code, table
 
 
+def _primary_table(
+    symbols: np.ndarray,
+    lengths: np.ndarray,
+    codewords: np.ndarray,
+    t_bits: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Fill a ``2^t_bits`` primary decode table, vectorized.
+
+    Codeword ``i`` (of length ``<= t_bits``) owns the contiguous run of
+    ``2^(t_bits - len)`` windows that start with it.  The runs are
+    written with one ``np.repeat`` scatter: ``idx`` enumerates every
+    covered window by adding a within-run ramp to each run's base.
+    """
+    size = 1 << t_bits
+    tab_sym = np.zeros(size, dtype=np.int64)
+    tab_len = np.zeros(size, dtype=np.uint8)
+    if symbols.size:
+        shift = t_bits - lengths
+        base = codewords.astype(np.int64) << shift
+        span = np.int64(1) << shift
+        starts = np.cumsum(span) - span
+        idx = np.repeat(base - starts, span) + np.arange(
+            int(span.sum()), dtype=np.int64
+        )
+        tab_sym[idx] = np.repeat(symbols, span)
+        tab_len[idx] = np.repeat(lengths, span).astype(np.uint8)
+    return tab_sym, tab_len
+
+
 class _Decoder:
     """Table-driven canonical decoder (see module docstring)."""
 
@@ -540,17 +774,13 @@ class _Decoder:
         self.max_len = int(lengths.max())
         t_bits = min(TABLE_BITS, self.max_len)
         self.t_bits = t_bits
-        size = 1 << t_bits
-        self.tab_sym = np.zeros(size, dtype=np.int64)
-        self.tab_len = np.zeros(size, dtype=np.uint8)
         short = lengths <= t_bits
-        for sym, ln, cw in zip(
-            code.symbols[short], lengths[short], code.codewords[short]
-        ):
-            base = int(cw) << (t_bits - int(ln))
-            span = 1 << (t_bits - int(ln))
-            self.tab_sym[base : base + span] = sym
-            self.tab_len[base : base + span] = ln
+        self.tab_sym, self.tab_len = _primary_table(
+            code.symbols[short],
+            lengths[short],
+            code.codewords[short],
+            t_bits,
+        )
         # Long codes: canonical (first_code, first_index, count) per length.
         # A window of `ln` bits is a valid codeword of that length iff
         # 0 <= window - first_code < count; canonical assignment puts
@@ -601,6 +831,43 @@ class _Decoder:
             lengths[order],
         )
         return self._kernel_tables
+
+    def wide_tables(self) -> tuple[np.ndarray, np.ndarray, int] | None:
+        """Full-coverage packed table ``(tab, symbols, t_bits)`` at
+        width ``max_len``, or ``None`` when the code is too deep.
+
+        When every code length fits :data:`DEPTH_LIMIT_BITS` bits the
+        primary table can simply be as wide as the longest codeword —
+        then *every* window lookup resolves a symbol and the lane
+        kernel's ``searchsorted`` miss path never runs.  Depth-limited
+        frames guarantee this by construction; shallow unlimited codes
+        get the same fast path opportunistically.
+
+        Each int32 entry packs ``(symbol_rank << 5) | code_length`` so
+        the kernel needs a *single* gather per window (Kraft holes stay
+        0, freezing corrupt cursors); ranks resolve to symbol values
+        with one full-array gather after decoding.  The table is at
+        most ``2^DEPTH_LIMIT_BITS`` int32 entries (256 KB — half the
+        footprint of separate symbol/length tables, so the random
+        gathers stay cache-resident), built once per code and amortized
+        by the process-wide codec cache.
+        """
+        if self.max_len > DEPTH_LIMIT_BITS:
+            return None
+        try:
+            return self._wide_tables
+        except AttributeError:
+            pass
+        lengths = self.code.lengths.astype(np.int64)
+        n = lengths.size
+        packed = (np.arange(n, dtype=np.int64) << 5) | lengths
+        tab, _ = _primary_table(
+            packed, lengths, self.code.codewords, self.max_len
+        )
+        self._wide_tables = (
+            tab.astype(np.int32), self.code.symbols, self.max_len
+        )
+        return self._wide_tables
 
     def _build_fast_table(self) -> None:
         """Multi-symbol lookup: for every t_bits window, the run of
@@ -724,42 +991,181 @@ class _Decoder:
         return np.array(out, dtype=np.int64)
 
 
-#: Decoder instances are pure functions of the code table, and the
-#: chunked/filestream paths decode under the same code many times, so a
-#: small keyed cache skips rebuilding the lookup tables (and any lazily
-#: built fast/kernel tables riding on the instance).
-_DECODER_CACHE_SIZE = 8
-_decoder_cache: OrderedDict[bytes, _Decoder] = OrderedDict()
-_decoder_cache_lock = threading.Lock()
+def _table_digest(symbols: np.ndarray, lengths: np.ndarray) -> bytes:
+    """Digest of a canonical table — equivalent to hashing the
+    serialized tree (lengths + symbols fully determine it), without
+    paying the varint re-serialization per call."""
+    h = hashlib.blake2b(digest_size=16)
+    h.update(np.ascontiguousarray(symbols).tobytes())
+    h.update(np.ascontiguousarray(lengths).tobytes())
+    return h.digest()
 
 
 def _code_digest(code: HuffmanCode) -> bytes:
-    """Digest of the canonical table — equivalent to hashing the
-    serialized tree (lengths + symbols fully determine it), without
-    paying the varint re-serialization per decode call."""
-    h = hashlib.blake2b(digest_size=16)
-    h.update(np.ascontiguousarray(code.symbols).tobytes())
-    h.update(np.ascontiguousarray(code.lengths).tobytes())
-    return h.digest()
+    return _table_digest(code.symbols, code.lengths)
+
+
+#: Above this span-to-alphabet ratio the offset-indexed encode LUT
+#: would be mostly holes; fall back to ``searchsorted``.  Quantization
+#: codes are a dense integer band around the midpoint, so real frames
+#: essentially always take the LUT path.
+_DENSE_SLACK = 4096
+
+
+class CanonicalCodec:
+    """Everything derived from one canonical code table, built lazily.
+
+    One instance bundles the :class:`HuffmanCode` with its decoder
+    tables and the encode-side lookup structures, so the expensive
+    derived state is constructed at most once per distinct table in
+    the process — shared across lanes, repeated compress/decompress
+    calls and (per process) the chunked-pipeline workers.  Instances
+    are obtained via :func:`codec_for` / :func:`codec_from_table` and
+    are internally locked, so sharing across encode threads is safe.
+    """
+
+    __slots__ = ("code", "digest", "_lock", "_decoder", "_enc")
+
+    def __init__(self, code: HuffmanCode, digest: bytes | None = None) -> None:
+        self.code = code
+        self.digest = _code_digest(code) if digest is None else digest
+        self._lock = threading.Lock()
+        self._decoder: _Decoder | None = None
+        self._enc = None
+
+    @property
+    def decoder(self) -> _Decoder:
+        dec = self._decoder
+        if dec is None:
+            with self._lock:
+                dec = self._decoder
+                if dec is None:
+                    dec = _Decoder(self.code)
+                    self._decoder = dec
+        return dec
+
+    def _encode_tables(self):
+        enc = self._enc
+        if enc is None:
+            with self._lock:
+                enc = self._enc
+                if enc is None:
+                    enc = self._build_encode_tables()
+                    self._enc = enc
+        return enc
+
+    def _build_encode_tables(self):
+        code = self.code
+        lengths64 = code.lengths.astype(np.int64)
+        base = int(code.symbols[0])
+        span = int(code.symbols[-1]) - base + 1
+        if span > 4 * code.n_symbols + _DENSE_SLACK:
+            return ("sparse", lengths64, None, None)
+        # Offset-indexed LUT: holes keep length 0, which doubles as the
+        # unknown-symbol detector (real codewords never have length 0).
+        lut_cw = np.zeros(span, dtype=np.uint64)
+        lut_ln = np.zeros(span, dtype=np.int64)
+        off = code.symbols - base
+        lut_cw[off] = code.codewords
+        lut_ln[off] = lengths64
+        return ("dense", lengths64, lut_cw, lut_ln)
+
+    def lookup(self, values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Per-value ``(codewords, lengths)`` for ``values``.
+
+        Dense integer alphabets (the quantization-code common case) go
+        through a direct offset-indexed gather; sparse alphabets fall
+        back to the original ``searchsorted``.  Raises ``ValueError``
+        when any value is outside the code's alphabet.
+        """
+        code = self.code
+        kind, lengths64, lut_cw, lut_ln = self._encode_tables()
+        if kind == "dense":
+            off = values - int(code.symbols[0])
+            if off.size and (
+                int(off.min()) < 0 or int(off.max()) >= lut_ln.size
+            ):
+                raise ValueError("value outside the code's alphabet")
+            ln = lut_ln[off]
+            if not ln.all():
+                raise ValueError("value outside the code's alphabet")
+            return lut_cw[off], ln
+        idx = np.searchsorted(code.symbols, values)
+        idx = np.clip(idx, 0, code.n_symbols - 1)
+        if not np.array_equal(code.symbols[idx], values):
+            raise ValueError("value outside the code's alphabet")
+        return code.codewords[idx], lengths64[idx]
+
+
+#: Process-wide codec cache.  Keyed by table digest; bounded LRU.  The
+#: derived state per entry is a few MB at worst (wide decode tables),
+#: so a generous bound still keeps the cache small while letting
+#: daemon-style workloads with many distinct error bounds all hit.
+_CODEC_CACHE_SIZE = 64
+_codec_cache: OrderedDict[bytes, CanonicalCodec] = OrderedDict()
+_codec_cache_lock = threading.Lock()
+
+
+def _codec_cached(key: bytes) -> CanonicalCodec | None:
+    with _codec_cache_lock:
+        codec = _codec_cache.get(key)
+        if codec is not None:
+            _codec_cache.move_to_end(key)
+            trace.count("huffman.codec_cache_hits")
+        return codec
+
+
+def _codec_insert(codec: CanonicalCodec) -> CanonicalCodec:
+    trace.count("huffman.codec_cache_misses")
+    with _codec_cache_lock:
+        existing = _codec_cache.get(codec.digest)
+        if existing is not None:
+            # Raced with another thread: keep the first instance so its
+            # lazily built tables stay shared.
+            _codec_cache.move_to_end(codec.digest)
+            return existing
+        _codec_cache[codec.digest] = codec
+        while len(_codec_cache) > _CODEC_CACHE_SIZE:
+            _codec_cache.popitem(last=False)
+    return codec
+
+
+def codec_for(code: HuffmanCode) -> CanonicalCodec:
+    """Fetch (or build and cache) the process-wide codec for ``code``."""
+    key = _code_digest(code)
+    codec = _codec_cached(key)
+    if codec is not None:
+        return codec
+    return _codec_insert(CanonicalCodec(code, digest=key))
+
+
+def codec_from_table(symbols: np.ndarray, lengths: np.ndarray) -> CanonicalCodec:
+    """Codec for a deserialized ``(symbols, lengths)`` table.
+
+    Hitting the cache here skips the canonical-codeword recomputation
+    entirely on repeated decodes of frames sharing one code table.
+    """
+    key = _table_digest(symbols, lengths)
+    codec = _codec_cached(key)
+    if codec is not None:
+        return codec
+    code = HuffmanCode(
+        symbols=symbols,
+        lengths=lengths,
+        codewords=_canonical_codewords(lengths.astype(np.int64)),
+    )
+    return _codec_insert(CanonicalCodec(code, digest=key))
+
+
+def codec_cache_clear() -> None:
+    """Drop every cached codec (tests and fixture regeneration)."""
+    with _codec_cache_lock:
+        _codec_cache.clear()
 
 
 def decoder_for(code: HuffmanCode) -> _Decoder:
     """Fetch (or build and cache) the table-driven decoder for ``code``."""
-    key = _code_digest(code)
-    with _decoder_cache_lock:
-        dec = _decoder_cache.get(key)
-        if dec is not None:
-            _decoder_cache.move_to_end(key)
-            trace.count("fastdecode.cache_hits")
-            return dec
-    trace.count("fastdecode.cache_misses")
-    dec = _Decoder(code)
-    with _decoder_cache_lock:
-        _decoder_cache[key] = dec
-        _decoder_cache.move_to_end(key)
-        while len(_decoder_cache) > _DECODER_CACHE_SIZE:
-            _decoder_cache.popitem(last=False)
-    return dec
+    return codec_for(code).decoder
 
 
 def decode(packed: PackedBits, code: HuffmanCode, n_values: int) -> np.ndarray:

@@ -31,17 +31,16 @@ FIXTURE_DIR = Path(__file__).resolve().parent.parent / "data" / "traces"
 KEY = bytes(range(16))
 
 
-def _clear_decoder_cache() -> None:
-    # The decoder LRU is process-global; a warm cache flips
-    # cache_misses to cache_hits and the counter-key comparison with
-    # it. Golden runs always start cold.
-    with huffman._decoder_cache_lock:
-        huffman._decoder_cache.clear()
+def _clear_codec_cache() -> None:
+    # The codec cache is process-global; a warm cache flips
+    # codec_cache_misses to codec_cache_hits and the counter-key
+    # comparison with it. Golden runs always start cold.
+    huffman.codec_cache_clear()
 
 
 def _run_scheme(scheme: str) -> dict:
     """Deterministic tiny compress + decompress, traced."""
-    _clear_decoder_cache()
+    _clear_codec_cache()
     rng = np.random.default_rng(42)
     field = np.cumsum(
         rng.standard_normal((24, 24)), axis=1

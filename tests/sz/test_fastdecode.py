@@ -235,12 +235,15 @@ class TestCompressorIntegration:
             comp.decompress(frame2)
 
 
-class TestDecoderCache:
+class TestCodecCache:
     def test_decoder_reused_for_same_code(self, skewed_values):
         values = skewed_values[:5000]
         symbols, counts = np.unique(values, return_counts=True)
         code_a = huffman.build_code(symbols, counts)
         code_b = huffman.build_code(symbols, counts)
+        # Distinct HuffmanCode objects with equal tables share one codec
+        # (and therefore one decoder) process-wide.
+        assert huffman.codec_for(code_a) is huffman.codec_for(code_b)
         assert huffman.decoder_for(code_a) is huffman.decoder_for(code_b)
 
     def test_distinct_codes_get_distinct_decoders(self):
@@ -248,13 +251,29 @@ class TestDecoderCache:
         code_b = huffman.build_code(np.array([1, 3]), np.array([3, 5]))
         assert huffman.decoder_for(code_a) is not huffman.decoder_for(code_b)
 
+    def test_deserialized_tree_hits_cache(self, skewed_values):
+        values = skewed_values[:5000]
+        symbols, counts = np.unique(values, return_counts=True)
+        code = huffman.build_code(symbols, counts)
+        codec = huffman.codec_for(code)
+        restored = huffman.deserialize_tree(huffman.serialize_tree(code))
+        # Same table digest: the deserialized frame reuses the cached
+        # codec's HuffmanCode instead of recomputing codewords.
+        assert restored is codec.code
+
     def test_cache_bounded(self):
-        for i in range(3 * huffman._DECODER_CACHE_SIZE):
+        for i in range(3 * huffman._CODEC_CACHE_SIZE):
             code = huffman.build_code(
                 np.array([i, i + 1]), np.array([3, 5])
             )
             huffman.decoder_for(code)
-        assert len(huffman._decoder_cache) <= huffman._DECODER_CACHE_SIZE
+        assert len(huffman._codec_cache) <= huffman._CODEC_CACHE_SIZE
+
+    def test_cache_clear(self):
+        code = huffman.build_code(np.array([1, 2]), np.array([3, 5]))
+        huffman.codec_for(code)
+        huffman.codec_cache_clear()
+        assert len(huffman._codec_cache) == 0
 
 
 class TestSlidingWindow:

@@ -1,0 +1,315 @@
+"""Differential tests: two-queue tree build and length-limited codes.
+
+``_huffman_lengths_ref`` is the original heapq construction kept as an
+oracle; ``_huffman_lengths`` is the O(n) two-queue build that replaced
+it on the hot path.  Because the tie-break rule is reproduced exactly,
+the two must agree *bit-for-bit* on every frequency table — the code
+lengths feed canonical codeword assignment, which feeds the frozen
+v2/v3 wire format, so any divergence would silently change frame
+bytes.  Length-limited codes (``build_code(..., max_len=)``) are new
+wire behaviour and are checked against first principles instead:
+Kraft, depth bound, prefix-freeness and bit-exact round-trips through
+the reference packer.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sz import huffman
+from repro.sz.bitstream import PackedBits, pack_codes_ref
+from repro.sz.compressor import SZCompressor
+from repro.sz.huffman import (
+    DEPTH_LIMIT_BITS,
+    MAX_CODE_LEN,
+    _canonical_codewords,
+    _canonical_codewords_ref,
+    _huffman_lengths,
+    _huffman_lengths_ref,
+    _rebalance_lengths,
+    build_code,
+)
+
+freq_tables = st.lists(
+    st.integers(min_value=1, max_value=1 << 40), min_size=2, max_size=200
+)
+# Small value range forces heavy ties — the regime where a wrong
+# tie-break rule in the two-queue build would diverge from the heap.
+tied_freq_tables = st.lists(
+    st.integers(min_value=1, max_value=4), min_size=2, max_size=200
+)
+
+
+def _kraft(lengths: np.ndarray) -> float:
+    return float(np.sum(2.0 ** -lengths.astype(np.float64)))
+
+
+def _assert_prefix_free(code: huffman.HuffmanCode) -> None:
+    width = int(code.lengths.max())
+    lj = code.codewords.astype(np.uint64) << (
+        np.uint64(width) - code.lengths.astype(np.uint64)
+    )
+    order = np.argsort(lj)
+    lj, ln = lj[order], code.lengths.astype(np.uint64)[order]
+    # Left-justified canonical codewords are strictly increasing and
+    # no codeword may fall inside the span of the previous one.
+    assert (np.diff(lj.astype(np.int64)) > 0).all()
+    spans = lj + (np.uint64(1) << (np.uint64(width) - ln))
+    assert (lj[1:] >= spans[:-1]).all()
+
+
+class TestTwoQueueVsHeap:
+    @given(freq_tables)
+    @settings(max_examples=150, deadline=None)
+    def test_lengths_bit_identical(self, freqs):
+        f = np.asarray(freqs, dtype=np.int64)
+        np.testing.assert_array_equal(
+            _huffman_lengths(f), _huffman_lengths_ref(f)
+        )
+
+    @given(tied_freq_tables)
+    @settings(max_examples=150, deadline=None)
+    def test_lengths_bit_identical_under_ties(self, freqs):
+        f = np.asarray(freqs, dtype=np.int64)
+        np.testing.assert_array_equal(
+            _huffman_lengths(f), _huffman_lengths_ref(f)
+        )
+
+    @given(freq_tables)
+    @settings(max_examples=80, deadline=None)
+    def test_kraft_equality(self, freqs):
+        # An unconstrained Huffman tree is Kraft-complete exactly.
+        lengths = _huffman_lengths(np.asarray(freqs, dtype=np.int64))
+        assert _kraft(lengths) == pytest.approx(1.0, abs=1e-12)
+
+    def test_large_zipf_table(self):
+        rng = np.random.default_rng(7)
+        f = np.sort(rng.zipf(1.3, 20_000).astype(np.int64))[::-1].copy()
+        np.testing.assert_array_equal(
+            _huffman_lengths(f), _huffman_lengths_ref(f)
+        )
+
+    def test_two_symbols(self):
+        f = np.array([5, 5], dtype=np.int64)
+        np.testing.assert_array_equal(_huffman_lengths(f), [1, 1])
+
+
+class TestCanonicalCodewords:
+    @given(freq_tables)
+    @settings(max_examples=100, deadline=None)
+    def test_vectorized_matches_reference(self, freqs):
+        lengths = _huffman_lengths(np.asarray(freqs, dtype=np.int64))
+        np.testing.assert_array_equal(
+            _canonical_codewords(lengths),
+            _canonical_codewords_ref(lengths),
+        )
+
+    def test_single_symbol_code(self):
+        lengths = np.array([1], dtype=np.int64)
+        np.testing.assert_array_equal(
+            _canonical_codewords(lengths),
+            _canonical_codewords_ref(lengths),
+        )
+
+
+class TestLengthLimited:
+    @given(freq_tables, st.integers(min_value=6, max_value=DEPTH_LIMIT_BITS))
+    @settings(max_examples=100, deadline=None)
+    def test_kraft_and_depth_bound(self, freqs, max_len):
+        f = np.asarray(freqs, dtype=np.int64)
+        if len(freqs) > (1 << max_len):  # pragma: no cover - size cap
+            return
+        lengths = _rebalance_lengths(_huffman_lengths(f), f, max_len)
+        assert int(lengths.max()) <= max_len
+        assert (lengths >= 1).all()
+        assert _kraft(lengths) <= 1.0 + 1e-12
+
+    @given(freq_tables, st.integers(min_value=6, max_value=DEPTH_LIMIT_BITS))
+    @settings(max_examples=60, deadline=None)
+    def test_monotone_lengths(self, freqs, max_len):
+        # A strictly rarer symbol never gets a shorter code than a
+        # commoner one (within tie groups anything goes).
+        f = np.asarray(freqs, dtype=np.int64)
+        if len(freqs) > (1 << max_len):  # pragma: no cover - size cap
+            return
+        symbols = np.arange(len(freqs), dtype=np.int64)
+        code = build_code(symbols, f, max_len=max_len)
+        order = np.argsort(-f, kind="stable")
+        fs = f[order]
+        ls = code.lengths.astype(np.int64)[order]
+        for k in np.nonzero(np.diff(fs) < 0)[0] + 1:
+            assert ls[:k].max() <= ls[k:].min()
+
+    def test_already_shallow_table_unchanged(self):
+        f = np.array([8, 4, 2, 1, 1], dtype=np.int64)
+        base = _huffman_lengths(f)
+        np.testing.assert_array_equal(
+            _rebalance_lengths(base, f, DEPTH_LIMIT_BITS), base
+        )
+
+    def test_infeasible_alphabet_raises(self):
+        n = (1 << 6) + 1
+        f = np.ones(n, dtype=np.int64)
+        with pytest.raises(ValueError, match="alphabet"):
+            _rebalance_lengths(_huffman_lengths(f), f, 6)
+
+    def test_build_code_rejects_bad_max_len(self):
+        symbols = np.arange(4, dtype=np.int64)
+        f = np.array([4, 3, 2, 1], dtype=np.int64)
+        for bad in (0, -1, DEPTH_LIMIT_BITS + 1):
+            with pytest.raises(ValueError):
+                build_code(symbols, f, max_len=bad)
+
+    def test_default_max_len_is_unlimited_path(self):
+        # build_code() without max_len must keep emitting the exact
+        # historical lengths (MAX_CODE_LEN cap) — frozen wire format.
+        rng = np.random.default_rng(3)
+        f = rng.zipf(1.2, 5000).astype(np.int64)
+        symbols = np.arange(f.size, dtype=np.int64)
+        code = build_code(symbols, f)
+        np.testing.assert_array_equal(
+            code.lengths.astype(np.int64),
+            huffman._limit_lengths(_huffman_lengths(f), f, MAX_CODE_LEN),
+        )
+
+    @given(st.integers(min_value=0, max_value=2**31), st.integers(8, 16))
+    @settings(max_examples=40, deadline=None)
+    def test_round_trip_bit_exact(self, seed, max_len):
+        rng = np.random.default_rng(seed)
+        n_sym = int(rng.integers(2, min(300, 1 << max_len)))
+        symbols = np.unique(rng.integers(-1000, 1000, size=n_sym))
+        f = rng.zipf(1.5, symbols.size).astype(np.int64)
+        code = build_code(symbols, f, max_len=max_len)
+        _assert_prefix_free(code)
+        values = rng.choice(symbols, size=2000, p=f / f.sum())
+        packed = huffman.encode(values, code)
+        # The reference packer pins the bytes; the fast decoder must
+        # read them back exactly.
+        idx = np.searchsorted(code.symbols, values)
+        ref = pack_codes_ref(code.codewords[idx], code.lengths[idx].astype(np.int64))
+        assert packed.data == ref.data and packed.n_bits == ref.n_bits
+        np.testing.assert_array_equal(
+            huffman.decode(packed, code, values.size), values
+        )
+
+
+class TestEncodeLookup:
+    def _reference_lookup(self, code, values):
+        idx = np.searchsorted(code.symbols, values)
+        return code.codewords[idx], code.lengths[idx].astype(np.int64)
+
+    def test_dense_lut_matches_searchsorted(self):
+        rng = np.random.default_rng(11)
+        symbols = np.arange(-500, 500, dtype=np.int64)  # contiguous → dense
+        f = rng.integers(1, 100, size=symbols.size).astype(np.int64)
+        code = build_code(symbols, f)
+        codec = huffman.codec_for(code)
+        assert codec._encode_tables()[0] == "dense"
+        values = rng.choice(symbols, size=5000)
+        cw, ln = codec.lookup(values)
+        rcw, rln = self._reference_lookup(code, values)
+        np.testing.assert_array_equal(cw, rcw)
+        np.testing.assert_array_equal(ln, rln)
+
+    def test_sparse_fallback_matches_searchsorted(self):
+        rng = np.random.default_rng(12)
+        symbols = np.unique(rng.integers(-10**9, 10**9, size=400))
+        f = rng.integers(1, 100, size=symbols.size).astype(np.int64)
+        code = build_code(symbols, f)
+        codec = huffman.codec_for(code)
+        assert codec._encode_tables()[0] == "sparse"
+        values = rng.choice(symbols, size=5000)
+        cw, ln = codec.lookup(values)
+        rcw, rln = self._reference_lookup(code, values)
+        np.testing.assert_array_equal(cw, rcw)
+        np.testing.assert_array_equal(ln, rln)
+
+    @pytest.mark.parametrize("dense", [True, False])
+    def test_unknown_value_rejected(self, dense):
+        if dense:
+            symbols = np.arange(16, dtype=np.int64)
+        else:
+            symbols = np.arange(16, dtype=np.int64) * 10**6
+        f = np.arange(1, 17, dtype=np.int64)
+        codec = huffman.codec_for(build_code(symbols, f))
+        bad = np.array([int(symbols[0]) + 1 if not dense else 999])
+        with pytest.raises(ValueError, match="alphabet"):
+            codec.lookup(bad)
+
+
+class TestDepthLimitedFrames:
+    def _field(self, shape=(128, 128), seed=0):
+        rng = np.random.default_rng(seed)
+        return np.cumsum(
+            rng.standard_normal(shape), axis=1
+        ).astype(np.float32)
+
+    def test_flag_set_and_round_trip(self):
+        data = self._field()
+        sc = SZCompressor(1e-3, depth_limit=12)
+        frame = sc.compress(data)
+        info = SZCompressor.parse_meta(frame.sections["meta"])
+        assert info["depth_limited"] is True
+        out = sc.decompress(frame)
+        np.testing.assert_allclose(out, data, atol=1e-3)
+
+    def test_default_frames_unflagged_and_identical(self):
+        data = self._field(seed=5)
+        plain = SZCompressor(1e-3).compress(data)
+        info = SZCompressor.parse_meta(plain.sections["meta"])
+        assert info["depth_limited"] is False
+        again = SZCompressor(1e-3).compress(data)
+        assert plain.sections == again.sections
+
+    def test_alphabet_too_large_falls_back_silently(self):
+        # depth_limit=1 admits at most 2 symbols; any real field has
+        # more, so the encoder must emit a normal unflagged frame.
+        data = self._field(seed=6)
+        sc = SZCompressor(1e-3, depth_limit=1)
+        frame = sc.compress(data)
+        info = SZCompressor.parse_meta(frame.sections["meta"])
+        assert info["depth_limited"] is False
+        np.testing.assert_allclose(
+            sc.decompress(frame), data, atol=1e-3
+        )
+
+    def test_constructor_validates_depth_limit(self):
+        with pytest.raises(ValueError, match="depth_limit"):
+            SZCompressor(1e-3, depth_limit=0)
+        with pytest.raises(ValueError, match="depth_limit"):
+            SZCompressor(1e-3, depth_limit=DEPTH_LIMIT_BITS + 1)
+
+    def test_unknown_meta_flag_rejected(self):
+        frame = SZCompressor(1e-3).compress(self._field(seed=7))
+        meta = bytearray(frame.sections["meta"])
+        meta[7] |= 0x04
+        with pytest.raises(ValueError, match="flags"):
+            SZCompressor.parse_meta(bytes(meta))
+
+    def test_lying_depth_flag_rejected(self):
+        # A flagged frame whose tree is deeper than DEPTH_LIMIT_BITS is
+        # corrupt by definition (FORMAT.md §3) and must not decode.
+        from repro.sz.compressor import _check_depth_flag
+
+        rng = np.random.default_rng(8)
+        f = rng.zipf(1.1, 30_000).astype(np.int64)
+        symbols = np.arange(f.size, dtype=np.int64)
+        deep = build_code(symbols, f)
+        assert int(deep.lengths.max()) > DEPTH_LIMIT_BITS
+        with pytest.raises(ValueError, match="depth-limited"):
+            _check_depth_flag({"depth_limited": True}, deep)
+        _check_depth_flag({"depth_limited": False}, deep)
+
+    def test_depth_limited_counter(self):
+        from repro.core import trace
+
+        data = self._field(seed=9)
+        before = trace.counters_snapshot().get(
+            "huffman.depth_limited_frames", 0
+        )
+        SZCompressor(1e-3, depth_limit=12).compress(data)
+        after = trace.counters_snapshot().get(
+            "huffman.depth_limited_frames", 0
+        )
+        assert after == before + 1

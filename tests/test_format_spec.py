@@ -62,13 +62,14 @@ def parse_inner_blob(blob):
 
 def parse_frame_meta(meta):
     fields = FRAME_META.unpack_from(meta)
-    (magic, version, dtype, predictor, bound_mode, ndim,
+    (magic, version, dtype, predictor, flags, ndim,
      block_size, radius, eb, modal, n_code_bits, n_unpred) = fields
     assert magic == b"SZfr"
     assert 2 <= version <= 3
     assert dtype in (0, 1)
     assert predictor in (0, 1, 2)
-    assert bound_mode in (0, 1)
+    # flags bitfield (FORMAT.md §3): 0x01 = PW_REL, 0x02 = DEPTH_LIMITED
+    assert flags & ~0x03 == 0
     shape = struct.unpack_from(f"<{ndim}Q", meta, FRAME_META.size)
     assert len(meta) == FRAME_META.size + 8 * ndim
     return {"version": version, "dtype": dtype, "shape": shape,
