@@ -96,7 +96,8 @@ def aes_calibration() -> tuple[float, float]:
     cipher = AES128(KEY)
     payload = bytes(256 * 1024)
     t0 = time.perf_counter()
-    enc = cipher.encrypt_cbc(payload, iv=bytes(16))
+    # Fixed IV: throughput calibration, nothing secret is protected.
+    enc = cipher.encrypt_cbc(payload, iv=bytes(16))  # lint: disable=crypto-hygiene
     t_enc = time.perf_counter() - t0
     t0 = time.perf_counter()
     cipher.decrypt_cbc(enc.ciphertext, enc.iv)
@@ -207,12 +208,15 @@ def measure_scheme(
     if repeats < 1:
         raise ValueError("repeats must be positive")
     rng = np.random.default_rng(seed)
+    # Experiment harness: seeded nonces are deliberate (reproducible
+    # sweeps over synthetic data), so opt out of the CTR reuse guard.
     sc = SecureCompressor(
         scheme=scheme,
         error_bound=eb,
         key=key if scheme != "none" else None,
         cipher_mode=cipher_mode,
         random_state=rng,
+        allow_nonce_reuse=True,
         **kwargs,
     )
     t_comp = 0.0
@@ -271,6 +275,7 @@ def trace_cell(
         key=key if scheme != "none" else None,
         cipher_mode=cipher_mode,
         random_state=np.random.default_rng(seed),
+        allow_nonce_reuse=True,
         **kwargs,
     )
     tr = trace.Tracer()

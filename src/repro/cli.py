@@ -83,7 +83,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_c.add_argument("--eb", type=float, default=1e-3,
                      help="absolute error bound (default 1e-3)")
     p_c.add_argument("--scheme", choices=sorted(SCHEMES), default="encr_huffman")
-    p_c.add_argument("--mode", choices=("cbc", "ctr"), default="cbc")
+    p_c.add_argument("--cipher-mode", "--mode", dest="mode",
+                     choices=("cbc", "ctr"), default="cbc",
+                     help="cbc = paper-fidelity default, ctr = recommended "
+                          "throughput mode (batched keystream, pipelined "
+                          "with compression)")
     p_c.add_argument("--key-hex", help="16-byte AES key as 32 hex chars")
     p_c.add_argument("--passphrase", help="derive the key from a passphrase")
 
@@ -111,7 +115,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_t.add_argument("--eb", type=float, default=1e-3)
     p_t.add_argument("--scheme", choices=sorted(SCHEMES),
                      default="encr_huffman")
-    p_t.add_argument("--mode", choices=("cbc", "ctr"), default="cbc")
+    p_t.add_argument("--cipher-mode", "--mode", dest="mode",
+                     choices=("cbc", "ctr"), default="cbc",
+                     help="cbc = paper-fidelity default, ctr = recommended "
+                          "throughput mode")
     p_t.add_argument("--key-hex")
     p_t.add_argument("--passphrase")
     p_t.add_argument("--json", metavar="PATH", default=None,

@@ -17,6 +17,7 @@ from repro.core import integrity
 from repro.core import trace
 from repro.core.schemes import Scheme, get_scheme
 from repro.core.timing import StageTimes
+from repro.crypto import pipelined
 from repro.crypto import rng as crypto_rng
 from repro.crypto.aes import AES128
 from repro.sz.compressor import CompressionStats, SZCompressor, SZFrame
@@ -72,7 +73,12 @@ class SecureCompressor:
     key:
         16-byte AES-128 key; required by every scheme except ``none``.
     cipher_mode:
-        ``"cbc"`` (paper's choice) or ``"ctr"`` (mode ablation).
+        ``"cbc"`` (the paper's Algorithm-1 choice and the fidelity
+        default — emitted frames match the reproduction tables byte
+        for byte) or ``"ctr"`` — the recommended **throughput** mode:
+        encryption runs on the batched engine and the keystream is
+        precomputed concurrently with compression (see
+        :mod:`repro.crypto.pipelined`).
     predictor, block_size, coverage, encode_workers, depth_limit:
         Forwarded to :class:`~repro.sz.compressor.SZCompressor`
         (``encode_workers`` packs v3 Huffman lanes on a thread pool
@@ -89,6 +95,19 @@ class SecureCompressor:
     random_state:
         Optional seeded ``numpy.random.Generator`` for deterministic
         IVs (experiments); production defaults to OS entropy.
+    allow_nonce_reuse:
+        Seeded CTR runs derive *deterministic* nonces: two runs with
+        the same seed and key encrypt different plaintexts under one
+        (key, nonce) pair, which leaks their XOR.  The constructor
+        therefore refuses ``cipher_mode="ctr"`` + ``random_state``
+        unless this flag is set explicitly (reproducible experiments
+        on non-sensitive data only — see DESIGN.md).  CBC is unaffected
+        (a repeated CBC IV leaks only equal-prefix information, and the
+        paper's reproduction tables require seeded CBC runs).
+    keystream_prefetch:
+        In CTR mode, precompute the keystream on a background thread
+        while the SZ stages run (on by default; output bytes are
+        identical either way — the flag exists for measurement).
 
     Examples
     --------
@@ -117,11 +136,28 @@ class SecureCompressor:
         zlib_level: int = DEFAULT_LEVEL,
         authenticate: bool = False,
         random_state: np.random.Generator | None = None,
+        allow_nonce_reuse: bool = False,
+        keystream_prefetch: bool = True,
     ) -> None:
         self._scheme: Scheme = get_scheme(scheme)
         if cipher_mode not in cont.CIPHER_MODES:
             raise ValueError(f"unknown cipher mode {cipher_mode!r}")
+        if (
+            cipher_mode == "ctr"
+            and random_state is not None
+            and not allow_nonce_reuse
+        ):
+            raise ValueError(
+                "cipher_mode='ctr' with a seeded random_state derives "
+                "deterministic nonces: re-running with the same seed and "
+                "key would encrypt two plaintexts under one (key, nonce) "
+                "pair and leak their XOR. Pass allow_nonce_reuse=True "
+                "only for reproducible experiments on non-sensitive data "
+                "(DESIGN.md), or drop random_state to use OS entropy."
+            )
         self.cipher_mode = cipher_mode
+        self.allow_nonce_reuse = allow_nonce_reuse
+        self.keystream_prefetch = keystream_prefetch
         if self._scheme.requires_key or authenticate:
             if key is None:
                 need = "authentication" if authenticate else f"scheme {scheme!r}"
@@ -174,15 +210,48 @@ class SecureCompressor:
             "compress", bytes_in=data.nbytes, mirror=times.seconds,
             scheme=self._scheme.name, cipher_mode=self.cipher_mode,
         ) as root:
-            frame = self._sz.compress(data, tracer=tr)
-            times.merge(frame.stats.stage_seconds)
+            # The IV/nonce is drawn *before* the SZ stages: in CTR mode
+            # the keystream depends only on (key, nonce, counter), so a
+            # background thread can generate it while compression runs.
             iv = self._fresh_iv()
-            with tr.span("protect") as psp:
-                out_sections = self._scheme.protect(
-                    frame.sections, self._cipher, iv, self.cipher_mode,
-                    self.zlib_level, tr if tr.enabled else times,
+            cipher = self._cipher
+            prefetcher = None
+            if (
+                self.cipher_mode == "ctr"
+                and cipher is not None
+                and self.keystream_prefetch
+            ):
+                hint = self._scheme.keystream_hint(int(data.nbytes))
+                if hint > 0:
+                    prefetcher = pipelined.KeystreamPrefetcher(
+                        cipher.schedule, iv, hint
+                    ).start()
+                    cipher = pipelined.PrefetchingAES(cipher, prefetcher)
+            try:
+                frame = self._sz.compress(data, tracer=tr)
+                times.merge(frame.stats.stage_seconds)
+                with tr.span("protect") as psp:
+                    out_sections = self._scheme.protect(
+                        frame.sections, cipher, iv, self.cipher_mode,
+                        self.zlib_level, tr if tr.enabled else times,
+                    )
+                    psp.bytes_out = sum(
+                        len(v) for v in out_sections.values()
+                    )
+            finally:
+                if prefetcher is not None:
+                    prefetcher.cancel()
+            if (
+                tr.enabled
+                and prefetcher is not None
+                and prefetcher.stats is not None
+            ):
+                root.attrs["keystream_overlap_ms"] = round(
+                    prefetcher.stats["overlap_ms"], 3
                 )
-                psp.bytes_out = sum(len(v) for v in out_sections.values())
+                root.attrs["keystream_wait_ms"] = round(
+                    prefetcher.stats["wait_ms"], 3
+                )
             blob = cont.pack_container(
                 self._scheme.scheme_id, self.cipher_mode, iv, out_sections
             )

@@ -90,6 +90,8 @@ KNOWN_COUNTERS = (
     "aes.blocks_encrypted",        # 16-byte blocks through CBC encryption
     "aes.blocks_decrypted",        # 16-byte blocks through CBC decryption
     "aes.blocks_keystream",        # 16-byte CTR keystream blocks generated
+    "aes.keystream_segments",      # bounded batched CTR keystream calls
+    "aes.keystream_prefetch_ms",   # wall ms the CTR prefetch thread spent generating keystream (rounded up)
     "zlib.deflate_in_bytes",       # plaintext bytes into zlib.compress
     "zlib.deflate_out_bytes",      # compressed bytes out of zlib.compress
     "zlib.inflate_in_bytes",       # compressed bytes into zlib.decompress

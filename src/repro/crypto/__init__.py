@@ -24,7 +24,13 @@ Layout
 ``modes``
     CBC and CTR modes with PKCS#7 padding.  CBC encryption is
     inherently sequential (each block chains on the previous
-    ciphertext), CBC decryption and CTR are batched.
+    ciphertext), CBC decryption and CTR are batched; the CTR keystream
+    is generated in bounded segments of ``CTR_SEGMENT_BLOCKS`` blocks.
+``pipelined``
+    CTR keystream prefetching: generates keystream segments on a
+    background thread *while compression runs* (the stream depends only
+    on key/nonce/counter, not the plaintext) — the throughput fast
+    path used by ``SecureCompressor(cipher_mode="ctr")``.
 ``rng``
     IV generation (OS entropy, or deterministic for reproducible runs).
 ``aes``
@@ -34,6 +40,7 @@ Layout
 
 from repro.crypto.aes import AES128, EncryptionResult
 from repro.crypto.modes import (
+    CTR_SEGMENT_BLOCKS,
     cbc_decrypt,
     cbc_encrypt,
     ctr_keystream,
@@ -41,11 +48,15 @@ from repro.crypto.modes import (
     pkcs7_pad,
     pkcs7_unpad,
 )
+from repro.crypto.pipelined import KeystreamPrefetcher, PrefetchingAES
 from repro.crypto.rng import generate_iv
 
 __all__ = [
     "AES128",
+    "CTR_SEGMENT_BLOCKS",
     "EncryptionResult",
+    "KeystreamPrefetcher",
+    "PrefetchingAES",
     "cbc_encrypt",
     "cbc_decrypt",
     "ctr_keystream",

@@ -88,10 +88,12 @@ class AES128:
     def encrypt(self, plaintext: bytes, *, mode: str = "cbc", iv: bytes | None = None) -> EncryptionResult:
         """Mode-dispatching entry point (``mode`` in {"cbc", "ctr"})."""
         if mode == "cbc":
-            return self.encrypt_cbc(plaintext, iv)
-        if mode == "ctr":
-            return self.encrypt_ctr(plaintext, iv)
-        raise ValueError(f"unknown cipher mode {mode!r}")
+            method = self.encrypt_cbc
+        elif mode == "ctr":
+            method = self.encrypt_ctr
+        else:
+            raise ValueError(f"unknown cipher mode {mode!r}")
+        return method(plaintext, iv)
 
     def decrypt(self, ciphertext: bytes, iv: bytes, *, mode: str = "cbc") -> bytes:
         """Mode-dispatching inverse of :meth:`encrypt`."""

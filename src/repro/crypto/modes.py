@@ -9,11 +9,22 @@ The paper's Algorithm 1 is textbook CBC:
 * **CBC decryption** applies the block cipher to every ciphertext block
   *independently* (the chaining is only an XOR afterwards), so it runs
   on the batched engine:  P_i = D_k(C_i) xor C_{i-1}.
-* **CTR** is embarrassingly parallel in both directions and is provided
-  for the mode ablation study (``benchmarks/bench_ablation_modes.py``).
+* **CTR** is embarrassingly parallel in both directions and is the
+  recommended throughput mode: the keystream depends only on
+  ``(key, nonce, counter)``, so it is generated in bounded **segments**
+  on the batched engine (peak temporary allocation stays at
+  ``CTR_SEGMENT_BLOCKS`` blocks regardless of stream length) and can be
+  precomputed before the plaintext exists — see
+  :mod:`repro.crypto.pipelined`.
+
+Counter layout: each CTR input block is ``nonce (8 bytes) || counter
+(8-byte big-endian)``, counting up from 0.  A segment starting at block
+``i`` simply passes ``initial=i``; segmentation never changes bytes.
 """
 
 from __future__ import annotations
+
+import hmac
 
 import numpy as np
 
@@ -23,6 +34,7 @@ from repro.crypto.block import BLOCK_BYTES, encrypt_block
 from repro.crypto.keyschedule import ExpandedKey
 
 __all__ = [
+    "CTR_SEGMENT_BLOCKS",
     "pkcs7_pad",
     "pkcs7_unpad",
     "cbc_encrypt",
@@ -30,6 +42,16 @@ __all__ = [
     "ctr_keystream",
     "ctr_xcrypt",
 ]
+
+#: Blocks per batched keystream call (8192 blocks = 128 KiB).  Bounds
+#: peak temporary allocation of the batched engine (which materializes
+#: the full (n, 16) state per round) and sets the granularity at which
+#: the prefetcher can overlap keystream generation with compression.
+CTR_SEGMENT_BLOCKS = 8192
+
+#: The counter field is 64 bits; ``initial + n_blocks`` past this wraps
+#: back to counter 0 and would reuse keystream.
+_COUNTER_SPACE = 1 << 64
 
 
 def pkcs7_pad(data: bytes) -> bytes:
@@ -52,7 +74,13 @@ def pkcs7_unpad(data: bytes) -> bytes:
     pad_len = data[-1]
     if pad_len < 1 or pad_len > BLOCK_BYTES:
         raise ValueError(f"invalid PKCS#7 padding length {pad_len}")
-    if data[-pad_len:] != bytes([pad_len]) * pad_len:
+    # Constant-shape check: always compare the full 16-byte tail (the
+    # non-padding prefix is compared against itself) instead of slicing
+    # ``pad_len`` bytes, so neither the compared width nor an early
+    # exit depends on the padding byte values.
+    tail = data[-BLOCK_BYTES:]
+    expected = tail[: BLOCK_BYTES - pad_len] + bytes([pad_len]) * pad_len
+    if not hmac.compare_digest(tail, expected):
         raise ValueError("corrupt PKCS#7 padding")
     return data[:-pad_len]
 
@@ -96,27 +124,94 @@ def cbc_decrypt(ciphertext: bytes, key: ExpandedKey, iv: bytes) -> bytes:
     return pkcs7_unpad(batch.from_blocks(plain))
 
 
+def _check_counter_range(initial: int, n_blocks: int) -> None:
+    """Reject counter ranges that would wrap the 64-bit counter field.
+
+    Wrapping back to counter 0 re-emits the start of the stream —
+    keystream reuse under the same (key, nonce) — so it is an error,
+    not a modular feature.
+    """
+    if initial < 0:
+        raise ValueError(f"CTR counter offset must be >= 0, got {initial}")
+    if initial + n_blocks > _COUNTER_SPACE:
+        raise ValueError(
+            f"CTR counter overflow: initial={initial} + {n_blocks} blocks "
+            f"exceeds the 64-bit counter space"
+        )
+
+
 def _counter_blocks(nonce: bytes, n_blocks: int, initial: int = 0) -> np.ndarray:
-    """Build CTR input blocks: 8-byte nonce || 8-byte big-endian counter."""
+    """Build CTR input blocks: 8-byte nonce || 8-byte big-endian counter.
+
+    ``initial`` offsets the counter, so a caller can build any window
+    of the stream: ``_counter_blocks(nonce, k, i)`` is exactly rows
+    ``[i, i+k)`` of the monolithic block sequence.
+    """
     if len(nonce) != 8:
         raise ValueError(f"CTR nonce must be 8 bytes, got {len(nonce)}")
-    counters = (np.arange(initial, initial + n_blocks, dtype=np.uint64)).astype(">u8")
+    _check_counter_range(initial, n_blocks)
+    # Add a uint64 scalar to a 0-based arange rather than
+    # arange(initial, initial + n_blocks): the latter's stop value hits
+    # 2**64 (unrepresentable) for windows ending at the counter-space
+    # edge, which the guard above deliberately allows.
+    counters = (
+        np.uint64(initial) + np.arange(n_blocks, dtype=np.uint64)
+    ).astype(">u8")
     blocks = np.empty((n_blocks, BLOCK_BYTES), dtype=np.uint8)
     blocks[:, :8] = np.frombuffer(nonce, dtype=np.uint8)
     blocks[:, 8:] = counters.view(np.uint8).reshape(n_blocks, 8)
     return blocks
 
 
-def ctr_keystream(key: ExpandedKey, nonce: bytes, n_bytes: int) -> np.ndarray:
-    """Generate ``n_bytes`` of CTR keystream in one batched encryption."""
+def ctr_keystream(
+    key: ExpandedKey,
+    nonce: bytes,
+    n_bytes: int,
+    initial: int = 0,
+    *,
+    segment_blocks: int = CTR_SEGMENT_BLOCKS,
+) -> np.ndarray:
+    """Generate ``n_bytes`` of CTR keystream starting at block ``initial``.
+
+    Generation is segmented: at most ``segment_blocks`` counter blocks
+    are materialized and batch-encrypted per call into a preallocated
+    output, so peak temporary memory is bounded by the segment size
+    rather than the stream length.  Segmentation is invisible in the
+    output — any (``n_bytes``, ``segment_blocks``) choice yields bytes
+    identical to the monolithic stream, and
+    ``ctr_keystream(k, n, a + b)`` equals the concatenation of
+    ``ctr_keystream(k, n, a)`` and
+    ``ctr_keystream(k, n, b, initial=ceil(a / 16))`` when ``a`` is
+    block-aligned.
+    """
+    if segment_blocks < 1:
+        raise ValueError(f"segment_blocks must be >= 1, got {segment_blocks}")
     n_blocks = (n_bytes + BLOCK_BYTES - 1) // BLOCK_BYTES
-    trace.count("aes.blocks_keystream", n_blocks)
-    stream = batch.encrypt_blocks(_counter_blocks(nonce, n_blocks), key)
-    return stream.reshape(-1)[:n_bytes]
+    # Validate the whole range up front so a multi-segment stream never
+    # partially emits before hitting the wrap guard.
+    _check_counter_range(initial, n_blocks)
+    out = np.empty(n_bytes, dtype=np.uint8)
+    n_segments = 0
+    for seg_start in range(0, n_blocks, segment_blocks):
+        seg_blocks = min(segment_blocks, n_blocks - seg_start)
+        stream = batch.encrypt_blocks(
+            _counter_blocks(nonce, seg_blocks, initial + seg_start), key
+        ).reshape(-1)
+        off = seg_start * BLOCK_BYTES
+        take = min(n_bytes - off, seg_blocks * BLOCK_BYTES)
+        out[off : off + take] = stream[:take]
+        n_segments += 1
+    trace.count_many(
+        {"aes.blocks_keystream": n_blocks,
+         "aes.keystream_segments": n_segments}
+    )
+    return out
 
 
-def ctr_xcrypt(data: bytes, key: ExpandedKey, nonce: bytes) -> bytes:
+def ctr_xcrypt(
+    data: bytes, key: ExpandedKey, nonce: bytes, initial: int = 0
+) -> bytes:
     """CTR encrypt/decrypt (the operation is its own inverse)."""
     buf = np.frombuffer(data, dtype=np.uint8)
-    ks = ctr_keystream(key, nonce, buf.size)
+    ks = ctr_keystream(key, nonce, buf.size, initial)
     return np.bitwise_xor(buf, ks).tobytes()

@@ -1,0 +1,232 @@
+"""CTR keystream generation pipelined with compression.
+
+The CTR keystream depends only on ``(key, nonce, counter)`` — none of
+the plaintext — so it can be computed *before* the compressed stream
+exists.  :class:`~repro.core.pipeline.SecureCompressor` exploits that:
+in CTR mode it draws the nonce first, starts a
+:class:`KeystreamPrefetcher` on a background thread, and only then runs
+the SZ stages (prediction, quantization, Huffman packing).  By the time
+the scheme's ``protect`` step needs to encrypt, most or all of the
+keystream already exists; the AES batches ran concurrently with the
+NumPy compression kernels (which release the GIL for the bulk of their
+work, so the overlap is real even in-process).
+
+Two pieces:
+
+* :class:`KeystreamPrefetcher` — owns the background thread.  It
+  generates bounded segments (:data:`repro.crypto.modes.
+  CTR_SEGMENT_BLOCKS` blocks each) up to a scheme-provided *hint* of
+  how much ciphertext to expect.  ``take(n)`` then blocks until enough
+  stream exists, tops up any shortfall synchronously at the correct
+  counter offset, and returns exactly ``n`` bytes.  The hint is purely
+  a performance knob: under-estimates cost a synchronous top-up,
+  over-estimates cost wasted AES batches; correctness never depends on
+  it.
+* :class:`PrefetchingAES` — an :class:`~repro.crypto.aes.AES128`
+  stand-in handed to the scheme layer.  A CTR encryption under the
+  prefetcher's nonce consumes the prefetched stream; everything else
+  delegates to the wrapped cipher.  ``take`` is one-shot, which makes
+  the nonce-hygiene rule (*one* (key, nonce) pair per plaintext —
+  DESIGN.md) executable: a second CTR encryption under the same nonce
+  raises instead of silently reusing keystream.
+"""
+
+from __future__ import annotations
+
+import threading
+from time import perf_counter
+
+import numpy as np
+
+from repro.core import trace
+from repro.crypto import modes
+from repro.crypto.aes import AES128, EncryptionResult
+from repro.crypto.block import BLOCK_BYTES
+from repro.crypto.keyschedule import ExpandedKey
+
+__all__ = ["KeystreamPrefetcher", "PrefetchingAES"]
+
+
+class KeystreamPrefetcher:
+    """Generate CTR keystream segments on a background thread.
+
+    Parameters
+    ----------
+    key:
+        Expanded AES key schedule.
+    nonce:
+        8-byte CTR nonce; the prefetcher covers exactly this stream.
+    hint_bytes:
+        Expected ciphertext size (see the scheme's ``keystream_hint``).
+        The background thread stops after ``ceil(hint_bytes / 16)``
+        blocks; ``take`` generates any shortfall in the foreground.
+    segment_blocks:
+        Blocks per batched segment; also the granularity at which an
+        early ``take`` of a smaller stream can stop the thread.
+    """
+
+    def __init__(
+        self,
+        key: ExpandedKey,
+        nonce: bytes,
+        hint_bytes: int,
+        *,
+        segment_blocks: int = modes.CTR_SEGMENT_BLOCKS,
+    ) -> None:
+        if segment_blocks < 1:
+            raise ValueError(
+                f"segment_blocks must be >= 1, got {segment_blocks}"
+            )
+        self._key = key
+        self.nonce = bytes(nonce)
+        self._segment_blocks = segment_blocks
+        self._target_blocks = max(
+            0, (int(hint_bytes) + BLOCK_BYTES - 1) // BLOCK_BYTES
+        )
+        self._segments: list[np.ndarray] = []
+        self._blocks_done = 0
+        self._busy_seconds = 0.0
+        self._done = False
+        self._taken = False
+        self._cond = threading.Condition()
+        self._thread: threading.Thread | None = None
+        #: Filled by :meth:`take`: prefetched_blocks / overlap_ms / wait_ms.
+        self.stats: dict[str, float] | None = None
+
+    def start(self) -> "KeystreamPrefetcher":
+        """Launch the background thread (idempotent start is an error)."""
+        if self._thread is not None:
+            raise RuntimeError("prefetcher already started")
+        self._thread = threading.Thread(
+            target=self._run, name="ctr-keystream-prefetch", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def _run(self) -> None:
+        while True:
+            with self._cond:
+                remaining = self._target_blocks - self._blocks_done
+                if remaining <= 0:
+                    self._done = True
+                    self._cond.notify_all()
+                    return
+                todo = min(self._segment_blocks, remaining)
+                initial = self._blocks_done
+            t0 = perf_counter()
+            segment = modes.ctr_keystream(
+                self._key,
+                self.nonce,
+                todo * BLOCK_BYTES,
+                initial,
+                segment_blocks=self._segment_blocks,
+            )
+            elapsed = perf_counter() - t0
+            with self._cond:
+                self._segments.append(segment)
+                self._blocks_done += todo
+                self._busy_seconds += elapsed
+                self._cond.notify_all()
+
+    def take(self, n_bytes: int) -> np.ndarray:
+        """Return keystream bytes ``[0, n_bytes)``; one-shot.
+
+        Blocks until the background thread has covered the request (or
+        finished its hint), shrinks the target so the thread stops
+        early when the request is smaller than the hint, and generates
+        any shortfall synchronously starting at the first missing
+        block.  A second call raises: one (key, nonce) pair must never
+        cover two plaintexts.
+        """
+        with self._cond:
+            if self._taken:
+                raise RuntimeError(
+                    "CTR keystream for this nonce was already consumed; "
+                    "a (key, nonce) pair must never encrypt two plaintexts"
+                )
+            self._taken = True
+            if self._thread is None:
+                # Never started: nothing will ever be produced in the
+                # background; serve the whole request synchronously.
+                self._done = True
+            # Work completed so far ran concurrently with compression.
+            overlap_seconds = self._busy_seconds
+            n_blocks = (int(n_bytes) + BLOCK_BYTES - 1) // BLOCK_BYTES
+            if n_blocks < self._target_blocks:
+                self._target_blocks = n_blocks
+            wait_t0 = perf_counter()
+            while not self._done and self._blocks_done < self._target_blocks:
+                self._cond.wait()
+            wait_seconds = perf_counter() - wait_t0
+            segments = list(self._segments)
+            produced = self._blocks_done
+            busy_seconds = self._busy_seconds
+        self.stats = {
+            "prefetched_blocks": produced,
+            "overlap_ms": overlap_seconds * 1e3,
+            "wait_ms": wait_seconds * 1e3,
+        }
+        # Wall time the prefetch thread spent generating keystream —
+        # work that *can* hide under compression.  Rounded up so the
+        # counter registers whenever a prefetcher ran at all.
+        if produced:
+            trace.count(
+                "aes.keystream_prefetch_ms", max(1, round(busy_seconds * 1e3))
+            )
+        parts = segments
+        shortfall = n_bytes - produced * BLOCK_BYTES
+        if shortfall > 0:
+            parts = parts + [
+                modes.ctr_keystream(
+                    self._key,
+                    self.nonce,
+                    shortfall,
+                    produced,
+                    segment_blocks=self._segment_blocks,
+                )
+            ]
+        if not parts:
+            return np.empty(0, dtype=np.uint8)
+        out = parts[0] if len(parts) == 1 else np.concatenate(parts)
+        return out[:n_bytes]
+
+    def cancel(self) -> None:
+        """Stop the background thread and discard unconsumed stream."""
+        with self._cond:
+            self._target_blocks = min(self._target_blocks, self._blocks_done)
+            self._cond.notify_all()
+        if self._thread is not None:
+            self._thread.join()
+
+
+class PrefetchingAES:
+    """AES façade that substitutes prefetched CTR keystream.
+
+    Handed to the scheme layer in place of the real
+    :class:`~repro.crypto.aes.AES128`: a CTR ``encrypt`` under the
+    prefetcher's nonce XORs against the precomputed stream, everything
+    else (CBC, other nonces, decryption) delegates to the wrapped
+    cipher.  Consuming the stream is one-shot — see
+    :meth:`KeystreamPrefetcher.take`.
+    """
+
+    def __init__(self, inner: AES128, prefetcher: KeystreamPrefetcher) -> None:
+        self._inner = inner
+        self._prefetcher = prefetcher
+
+    @property
+    def schedule(self) -> ExpandedKey:
+        return self._inner.schedule
+
+    def encrypt(
+        self, plaintext: bytes, *, mode: str = "cbc", iv: bytes | None = None
+    ) -> EncryptionResult:
+        if mode == "ctr" and iv == self._prefetcher.nonce:
+            ks = self._prefetcher.take(len(plaintext))
+            buf = np.frombuffer(plaintext, dtype=np.uint8)
+            ct = np.bitwise_xor(buf, ks).tobytes()
+            return EncryptionResult(ciphertext=ct, iv=bytes(iv), mode="ctr")
+        return self._inner.encrypt(plaintext, mode=mode, iv=iv)
+
+    def __getattr__(self, name: str):
+        return getattr(self._inner, name)

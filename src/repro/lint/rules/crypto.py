@@ -1,6 +1,6 @@
 """Crypto hygiene for the from-scratch AES in ``repro.crypto``.
 
-Two invariants, both load-bearing for the paper's security claims:
+Three invariants, all load-bearing for the paper's security claims:
 
 1. **CSPRNG only.**  All randomness (keys, IVs, nonces) must come from
    ``repro.crypto.rng`` (which wraps ``os.urandom``).  ``random``,
@@ -14,6 +14,14 @@ Two invariants, both load-bearing for the paper's security claims:
    not appear in an ``if``/``while`` test or a subscript index, except
    inside shape checks (``len``/``isinstance``), ``is None`` tests and
    bare-truthiness emptiness tests.
+3. **Fresh IVs/nonces.**  Checked across *all* of ``src/`` (callers,
+   not just the crypto package): an ``encrypt*`` call may not receive a
+   literal IV/nonce (``bytes(16)``, ``b"\\x00" * 16``, ...), and one
+   IV/nonce variable may not feed two ``encrypt*`` calls inside the
+   same function — CBC IV reuse leaks equal plaintext prefixes, CTR
+   nonce reuse leaks the plaintext XOR.  Calibration/doctest code that
+   genuinely needs a fixed IV opts out per line with
+   ``# lint: disable=crypto-hygiene``.
 """
 
 from __future__ import annotations
@@ -34,6 +42,20 @@ TTABLE_MODULE = "src/repro/crypto/block.py"
 _SECRET = re.compile(r"key|schedule|secret|passphrase", re.IGNORECASE)
 _FORBIDDEN_MODULES = ("random", "numpy.random")
 _TIME_FUNCS = ("time", "time_ns", "monotonic", "monotonic_ns")
+
+#: encrypt-entry-point name -> positional index of its IV/nonce
+#: argument (None: keyword-only in practice).  Matches the dotted tail,
+#: so ``cipher.encrypt_cbc(...)`` and ``modes.cbc_encrypt(...)`` both
+#: resolve.
+_ENCRYPT_IV_ARG = {
+    "encrypt": None,      # AES128.encrypt(plaintext, *, mode=, iv=)
+    "encrypt_cbc": 1,     # AES128.encrypt_cbc(plaintext, iv)
+    "encrypt_ctr": 1,     # AES128.encrypt_ctr(plaintext, nonce)
+    "cbc_encrypt": 2,     # modes.cbc_encrypt(plaintext, key, iv)
+    "ctr_xcrypt": 2,      # modes.ctr_xcrypt(data, key, nonce)
+    "ctr_keystream": 1,   # modes.ctr_keystream(key, nonce, n_bytes)
+}
+_IV_KEYWORDS = ("iv", "nonce")
 
 
 def _identifier(node: ast.AST) -> str | None:
@@ -127,20 +149,116 @@ def _secret_names(test: ast.AST, *, allow_bare: bool = False):
             return  # one finding per test is enough
 
 
+def _is_literal_bytes(node: ast.AST) -> bool:
+    """True when ``node`` is a compile-time-constant bytes-ish value."""
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, (bytes, str, int))
+    if isinstance(node, ast.Call):
+        func = _identifier(node.func)
+        if func in ("bytes", "bytearray", "bytes.fromhex") and all(
+            _is_literal_bytes(arg) for arg in node.args
+        ):
+            return True
+        return False
+    if isinstance(node, ast.BinOp):
+        return _is_literal_bytes(node.left) and _is_literal_bytes(node.right)
+    if isinstance(node, (ast.JoinedStr,)):
+        return True
+    return False
+
+
+def _iv_argument(call: ast.Call) -> ast.AST | None:
+    """The IV/nonce argument of an ``encrypt*`` call, if one is passed."""
+    func = _identifier(call.func)
+    if func is None:
+        return None
+    tail = func.rsplit(".", 1)[-1]
+    if tail not in _ENCRYPT_IV_ARG:
+        return None
+    for kw in call.keywords:
+        if kw.arg in _IV_KEYWORDS:
+            return kw.value
+    pos = _ENCRYPT_IV_ARG[tail]
+    if pos is not None and len(call.args) > pos:
+        return call.args[pos]
+    return None
+
+
+def _encrypt_calls_by_scope(tree: ast.AST) -> list[list[ast.Call]]:
+    """Encrypt-call lists grouped by nearest enclosing function.
+
+    Nested functions get their own bucket, so a helper closure's calls
+    never pollute its parent's reuse accounting.
+    """
+    scopes: list[list[ast.Call]] = []
+
+    def visit(node: ast.AST, bucket: list[ast.Call]) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                inner: list[ast.Call] = []
+                scopes.append(inner)
+                visit(child, inner)
+                continue
+            if isinstance(child, ast.Call) and _iv_argument(child) is not None:
+                bucket.append(child)
+            visit(child, bucket)
+
+    top: list[ast.Call] = []
+    scopes.append(top)
+    visit(tree, top)
+    return scopes
+
+
+def _iv_findings(ctx: FileContext, rule: str) -> list[Finding]:
+    findings = []
+    for calls in _encrypt_calls_by_scope(ctx.tree):
+        seen: dict[str, int] = {}
+        for call in calls:
+            iv_node = _iv_argument(call)
+            func = _identifier(call.func)
+            tail = func.rsplit(".", 1)[-1] if func else "encrypt"
+            if _is_literal_bytes(iv_node):
+                findings.append(Finding(
+                    path=ctx.relpath, line=iv_node.lineno, rule=rule,
+                    message=(f"literal IV/nonce passed to {tail}(): draw "
+                             "a fresh IV/nonce from repro.crypto.rng per "
+                             "encryption"),
+                ))
+                continue
+            dotted = _identifier(iv_node)
+            if dotted is None:
+                continue
+            if dotted in seen:
+                findings.append(Finding(
+                    path=ctx.relpath, line=iv_node.lineno, rule=rule,
+                    message=(f"IV/nonce {dotted!r} reused by a second "
+                             f"encrypt call (first at line {seen[dotted]}): "
+                             "every encryption needs a fresh IV/nonce — "
+                             "reuse leaks plaintext structure"),
+                ))
+            else:
+                seen[dotted] = iv_node.lineno
+    return findings
+
+
 class CryptoHygieneRule(Rule):
     name = "crypto-hygiene"
     description = (
         "repro.crypto must draw randomness only from rng.py and must "
         "not branch on or index by secret values outside the T-table "
-        "engine"
+        "engine; encrypt* callers anywhere in src/ must pass fresh, "
+        "non-literal IVs/nonces"
     )
 
     def check(self, ctx: FileContext, repo: RepoContext) -> list[Finding]:
-        if not ctx.relpath.startswith(CRYPTO_PACKAGE):
+        if not ctx.relpath.startswith("src/"):
             return []
         if ctx.relpath == RNG_MODULE:
             return []
-        findings = _randomness_findings(ctx, self.name)
+        findings = _iv_findings(ctx, self.name)
+        if not ctx.relpath.startswith(CRYPTO_PACKAGE):
+            return findings
+        findings += _randomness_findings(ctx, self.name)
         if ctx.relpath == TTABLE_MODULE:
             return findings
         for node in ast.walk(ctx.tree):

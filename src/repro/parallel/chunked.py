@@ -7,8 +7,17 @@ Implementation notes
   :func:`_decompress_slab` functions keep the payload picklable (the
   guides' mpi4py examples use the same "ship arrays, not objects"
   discipline — a slab is a contiguous buffer, cheap to serialize).
-* Every slab is an independent SECZ container with a fresh IV — CBC IV
-  reuse across ranks would leak equal-prefix information.
+* Every slab is an independent SECZ container with a fresh IV/nonce —
+  CBC IV reuse across ranks would leak equal-prefix information, CTR
+  nonce reuse would leak the slabs' XOR outright.  In CTR mode each
+  worker additionally runs its own keystream prefetcher
+  (:mod:`repro.crypto.pipelined`), so per-slab keystream generation
+  overlaps that slab's SZ stages instead of serializing after them.
+* Seeded runs (``base_seed``) derive slab nonces deterministically from
+  ``base_seed + slab_index``; in CTR mode that is a keystream-reuse
+  hazard across *runs* (same seed + same key → same nonces), so the
+  constructor refuses it unless ``allow_nonce_reuse=True`` is passed
+  explicitly (see DESIGN.md).
 * The outer framing is deliberately trivial: magic, chunk count, chunk
   lengths, then the containers back to back.
 """
@@ -43,6 +52,7 @@ class _Config:
     authenticate: bool = False
     encode_workers: int = 1
     depth_limit: int | None = None
+    allow_nonce_reuse: bool = False
 
     def build(self, seed: int | None = None) -> SecureCompressor:
         rng = np.random.default_rng(seed) if seed is not None else None
@@ -57,6 +67,7 @@ class _Config:
             encode_workers=self.encode_workers,
             depth_limit=self.depth_limit,
             random_state=rng,
+            allow_nonce_reuse=self.allow_nonce_reuse,
         )
 
 
@@ -99,6 +110,12 @@ class ChunkedSecureCompressor:
     base_seed:
         When set, slab IVs derive from ``base_seed + slab_index`` so
         runs are reproducible; production leaves it None (OS entropy).
+        With ``cipher_mode="ctr"`` this makes nonces deterministic
+        across runs and therefore requires ``allow_nonce_reuse=True``.
+    allow_nonce_reuse:
+        Explicit opt-in for seeded CTR runs (reproducible experiments
+        on non-sensitive data only); forwarded to every slab's
+        :class:`SecureCompressor`.  See DESIGN.md.
     encode_workers:
         Per-worker thread-pool width for packing v3 Huffman lanes
         (forwarded to each slab's :class:`SecureCompressor`).  The
@@ -125,11 +142,26 @@ class ChunkedSecureCompressor:
         base_seed: int | None = None,
         encode_workers: int = 1,
         depth_limit: int | None = None,
+        allow_nonce_reuse: bool = False,
     ) -> None:
         if n_chunks < 1:
             raise ValueError("n_chunks must be positive")
         if n_workers < 1:
             raise ValueError("n_workers must be positive")
+        if (
+            cipher_mode == "ctr"
+            and base_seed is not None
+            and not allow_nonce_reuse
+        ):
+            # Fail here rather than in the workers: one clear error in
+            # the construction stack instead of N pickled ones.
+            raise ValueError(
+                "cipher_mode='ctr' with base_seed derives deterministic "
+                "per-slab nonces: re-running with the same seed and key "
+                "would reuse (key, nonce) pairs and leak slab XORs. Pass "
+                "allow_nonce_reuse=True only for reproducible experiments "
+                "on non-sensitive data (DESIGN.md), or drop base_seed."
+            )
         self._config = _Config(
             scheme=scheme,
             error_bound=float(error_bound),
@@ -140,6 +172,7 @@ class ChunkedSecureCompressor:
             authenticate=authenticate,
             encode_workers=encode_workers,
             depth_limit=depth_limit,
+            allow_nonce_reuse=allow_nonce_reuse,
         )
         self.n_chunks = n_chunks
         self.n_workers = n_workers

@@ -50,6 +50,66 @@ class TestRoundTrips:
         assert "decrypt" in times.seconds
         assert "huffman_decode" in times.seconds
 
+    @pytest.mark.parametrize("scheme", ["cmpr_encr", "encr_quant",
+                                        "encr_huffman", "encr_huffman_raw"])
+    def test_ctr_all_schemes(self, scheme, smooth_field, key):
+        sc = SecureCompressor(scheme, 1e-4, key=key, cipher_mode="ctr")
+        out = sc.decompress(sc.compress(smooth_field).container)
+        assert _max_err(out, smooth_field) <= 1e-4
+
+    def test_ctr_prefetch_bytes_identical(self, smooth_field, key):
+        # The pipelined keystream is a pure overlap optimization: with
+        # the same nonce the container must match the serial path bit
+        # for bit.
+        kwargs = dict(key=key, cipher_mode="ctr", allow_nonce_reuse=True)
+        a = SecureCompressor(
+            "cmpr_encr", 1e-3, random_state=np.random.default_rng(7), **kwargs
+        ).compress(smooth_field).container
+        b = SecureCompressor(
+            "cmpr_encr", 1e-3, random_state=np.random.default_rng(7),
+            keystream_prefetch=False, **kwargs
+        ).compress(smooth_field).container
+        assert a == b
+
+    def test_empty_field_rejected_in_both_modes(self, key):
+        # The SZ substrate refuses empty arrays by contract; both cipher
+        # modes must surface that refusal before touching the cipher
+        # (zero-length *ciphertext* round trips live in tests/crypto/).
+        empty = np.empty((0,), dtype=np.float32)
+        for mode in ("cbc", "ctr"):
+            sc = SecureCompressor("cmpr_encr", 1e-3, key=key, cipher_mode=mode)
+            with pytest.raises(ValueError, match="empty"):
+                sc.compress(empty)
+
+
+class TestCtrNonceReuseGuard:
+    def test_seeded_ctr_refused_by_default(self, key):
+        with pytest.raises(ValueError, match="nonce"):
+            SecureCompressor("encr_huffman", 1e-3, key=key, cipher_mode="ctr",
+                             random_state=np.random.default_rng(1))
+
+    def test_explicit_optin_allows_seeded_ctr(self, smooth_field, key):
+        a = SecureCompressor("encr_huffman", 1e-3, key=key, cipher_mode="ctr",
+                             random_state=np.random.default_rng(5),
+                             allow_nonce_reuse=True)
+        b = SecureCompressor("encr_huffman", 1e-3, key=key, cipher_mode="ctr",
+                             random_state=np.random.default_rng(5),
+                             allow_nonce_reuse=True)
+        assert a.compress(smooth_field).container == b.compress(
+            smooth_field
+        ).container
+
+    def test_seeded_cbc_unaffected(self, smooth_field, key):
+        sc = SecureCompressor("encr_huffman", 1e-3, key=key,
+                              random_state=np.random.default_rng(5))
+        out = sc.decompress(sc.compress(smooth_field).container)
+        assert _max_err(out, smooth_field) <= 1e-3
+
+    def test_os_entropy_ctr_needs_no_flag(self, smooth_field, key):
+        sc = SecureCompressor("encr_huffman", 1e-3, key=key, cipher_mode="ctr")
+        out = sc.decompress(sc.compress(smooth_field).container)
+        assert _max_err(out, smooth_field) <= 1e-3
+
 
 class TestResultStats:
     def test_encrypted_bytes_ordering(self, smooth_field, key):

@@ -1,8 +1,12 @@
-"""Golden trace fixtures: one ``*.trace.json`` per scheme.
+"""Golden trace fixtures: one ``*.trace.json`` per scheme variant.
 
-``tests/data/traces/<scheme>.trace.json`` pins the *structure* each
+``tests/data/traces/<variant>.trace.json`` pins the *structure* each
 scheme's compress + decompress traces must produce — the span tree
 shape (names, nesting, attr keys) and the set of counters touched.
+Variants are scheme names, optionally suffixed ``@ctr`` for the CTR
+fast path (which adds the ``aes.keystream_*`` counters and the
+``keystream_overlap_ms``/``keystream_wait_ms`` attrs on the compress
+span).
 Timings and byte counts are runtime-dependent and deliberately not
 compared; what these fixtures catch is an accidental reshuffle of the
 pipeline stages or a counter silently vanishing from a code path.
@@ -30,6 +34,10 @@ from repro.sz import huffman
 FIXTURE_DIR = Path(__file__).resolve().parent.parent / "data" / "traces"
 KEY = bytes(range(16))
 
+#: Golden variants: every scheme under the default CBC mode, plus the
+#: CTR fast path on the scheme that exercises keystream prefetch most.
+VARIANTS = sorted(SCHEMES) + ["cmpr_encr@ctr"]
+
 
 def _clear_codec_cache() -> None:
     # The codec cache is process-global; a warm cache flips
@@ -38,9 +46,11 @@ def _clear_codec_cache() -> None:
     huffman.codec_cache_clear()
 
 
-def _run_scheme(scheme: str) -> dict:
+def _run_scheme(variant: str) -> dict:
     """Deterministic tiny compress + decompress, traced."""
     _clear_codec_cache()
+    scheme, _, mode = variant.partition("@")
+    mode = mode or "cbc"
     rng = np.random.default_rng(42)
     field = np.cumsum(
         rng.standard_normal((24, 24)), axis=1
@@ -49,7 +59,9 @@ def _run_scheme(scheme: str) -> dict:
         scheme=scheme,
         error_bound=1e-3,
         key=None if scheme == "none" else KEY,
+        cipher_mode=mode,
         random_state=np.random.default_rng(0),
+        allow_nonce_reuse=(mode == "ctr"),
     )
     tr = trace.Tracer()
     result = sc.compress(field, tracer=tr)
@@ -74,36 +86,38 @@ def _doc_shape(doc: dict) -> dict:
     }
 
 
-@pytest.mark.parametrize("scheme", sorted(SCHEMES))
-def test_trace_matches_golden(scheme):
-    path = FIXTURE_DIR / f"{scheme}.trace.json"
+@pytest.mark.parametrize("variant", VARIANTS)
+def test_trace_matches_golden(variant):
+    path = FIXTURE_DIR / f"{variant}.trace.json"
     assert path.exists(), (
         f"missing golden fixture {path.name}; regenerate with "
         f"`PYTHONPATH=src python {__file__} --regen`"
     )
     golden = json.loads(path.read_text())
     assert golden["schema"] == trace.SCHEMA
-    assert _doc_shape(_run_scheme(scheme)) == _doc_shape(golden)
+    assert _doc_shape(_run_scheme(variant)) == _doc_shape(golden)
 
 
 def test_fixtures_are_valid_trace_documents():
-    for scheme in sorted(SCHEMES):
-        doc = json.loads((FIXTURE_DIR / f"{scheme}.trace.json").read_text())
+    for variant in VARIANTS:
+        doc = json.loads((FIXTURE_DIR / f"{variant}.trace.json").read_text())
         trace.validate(doc)
 
 
 def test_no_stray_fixtures():
-    # Every fixture corresponds to a registered scheme, so a renamed
+    # Every fixture corresponds to a registered variant, so a renamed
     # scheme cannot leave a stale golden behind unnoticed.
     found = {p.stem.replace(".trace", "") for p in FIXTURE_DIR.glob("*.trace.json")}
-    assert found == set(SCHEMES)
+    assert found == set(VARIANTS)
 
 
-def _regen() -> None:
+def _regen(only: set[str] | None = None) -> None:
     FIXTURE_DIR.mkdir(parents=True, exist_ok=True)
-    for scheme in sorted(SCHEMES):
-        doc = _run_scheme(scheme)
-        path = FIXTURE_DIR / f"{scheme}.trace.json"
+    for variant in VARIANTS:
+        if only and variant not in only:
+            continue
+        doc = _run_scheme(variant)
+        path = FIXTURE_DIR / f"{variant}.trace.json"
         path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
         print(f"wrote {path}")
 
@@ -112,6 +126,9 @@ if __name__ == "__main__":
     import sys
 
     if "--regen" in sys.argv:
-        _regen()
+        # Optional variant names after --regen restrict the rewrite
+        # (keeps unrelated fixture diffs out of a focused change).
+        names = {a for a in sys.argv[1:] if not a.startswith("-")}
+        _regen(names or None)
     else:
         print(__doc__)

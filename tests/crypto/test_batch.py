@@ -63,3 +63,12 @@ class TestBatchEquivalence:
         before = raw.copy()
         batch.encrypt_blocks(raw, EK)
         assert np.array_equal(raw, before)
+
+    def test_zero_block_batch(self):
+        empty = np.empty((0, 16), dtype=np.uint8)
+        enc = batch.encrypt_blocks(empty, EK)
+        assert enc.shape == (0, 16) and enc.dtype == np.uint8
+        dec = batch.decrypt_blocks(empty, EK)
+        assert dec.shape == (0, 16) and dec.dtype == np.uint8
+        assert batch.from_blocks(enc) == b""
+        assert batch.to_blocks(b"").shape == (0, 16)

@@ -1,0 +1,149 @@
+"""KeystreamPrefetcher / PrefetchingAES: pipelined CTR fast path.
+
+The invariant under test everywhere: prefetched keystream must be
+*bit-identical* to the serial `ctr_keystream` stream for every
+(hint, request) shape — over-hint, under-hint, exact, zero — and the
+one-shot take() must make (key, nonce) reuse impossible.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import trace
+from repro.crypto import modes
+from repro.crypto.aes import AES128
+from repro.crypto.keyschedule import expand_key
+from repro.crypto.pipelined import KeystreamPrefetcher, PrefetchingAES
+
+KEY = bytes(range(16))
+EK = expand_key(KEY)
+NONCE = b"pf-tests"
+
+
+def _prefetch(hint, need, *, segment_blocks=4, start=True):
+    pf = KeystreamPrefetcher(EK, NONCE, hint, segment_blocks=segment_blocks)
+    if start:
+        pf.start()
+    try:
+        return pf.take(need)
+    finally:
+        pf.cancel()
+
+
+class TestPrefetcher:
+    @pytest.mark.parametrize(
+        "hint, need",
+        [
+            (0, 500),      # no prefetch at all: fully synchronous top-up
+            (100, 500),    # under-hint: shortfall resumes mid-stream
+            (500, 500),    # exact
+            (5000, 500),   # over-hint: early stop, surplus discarded
+            (500, 0),      # nothing requested
+            (0, 0),
+            (64, 63),      # sub-block tail
+            (64, 65),      # one byte past the hint
+        ],
+    )
+    def test_bit_identical_to_serial(self, hint, need):
+        got = _prefetch(hint, need)
+        want = modes.ctr_keystream(EK, NONCE, need)
+        assert np.array_equal(got, want), (hint, need)
+
+    def test_unstarted_prefetcher_still_serves(self):
+        # take() without start() degrades to synchronous generation.
+        got = _prefetch(1000, 200, start=False)
+        assert np.array_equal(got, modes.ctr_keystream(EK, NONCE, 200))
+
+    def test_take_is_one_shot(self):
+        pf = KeystreamPrefetcher(EK, NONCE, 100).start()
+        try:
+            pf.take(50)
+            with pytest.raises(RuntimeError, match="already consumed"):
+                pf.take(50)
+        finally:
+            pf.cancel()
+
+    def test_double_start_rejected(self):
+        pf = KeystreamPrefetcher(EK, NONCE, 100).start()
+        try:
+            with pytest.raises(RuntimeError, match="started"):
+                pf.start()
+        finally:
+            pf.cancel()
+
+    def test_cancel_without_take(self):
+        pf = KeystreamPrefetcher(EK, NONCE, 1 << 20, segment_blocks=64).start()
+        pf.cancel()
+        assert not pf._thread.is_alive()
+
+    def test_stats_and_counter(self):
+        before = trace.counters_snapshot().get("aes.keystream_prefetch_ms", 0)
+        pf = KeystreamPrefetcher(EK, NONCE, 16 * 64, segment_blocks=8).start()
+        try:
+            pf.take(16 * 64)
+        finally:
+            pf.cancel()
+        assert pf.stats is not None
+        assert pf.stats["prefetched_blocks"] >= 1
+        after = trace.counters_snapshot()["aes.keystream_prefetch_ms"]
+        assert after > before
+
+    def test_bad_segment_blocks(self):
+        with pytest.raises(ValueError, match="segment_blocks"):
+            KeystreamPrefetcher(EK, NONCE, 100, segment_blocks=0)
+
+
+class TestPrefetchingAES:
+    def _wrapped(self, hint=10_000):
+        cipher = AES128(KEY)
+        pf = KeystreamPrefetcher(EK, NONCE, hint).start()
+        return PrefetchingAES(cipher, pf), cipher, pf
+
+    def test_ctr_matches_plain_cipher(self):
+        wrapped, cipher, pf = self._wrapped()
+        try:
+            pt = bytes(range(256)) * 5
+            got = wrapped.encrypt(pt, mode="ctr", iv=NONCE)
+            assert got.ciphertext == cipher.encrypt_ctr(pt, NONCE).ciphertext
+            assert got.mode == "ctr" and got.iv == NONCE
+        finally:
+            pf.cancel()
+
+    def test_second_ctr_encrypt_same_nonce_raises(self):
+        # The executable form of the nonce-hygiene audit: no scheme can
+        # encrypt two sections under one (key, nonce).
+        wrapped, _, pf = self._wrapped()
+        try:
+            wrapped.encrypt(b"first section", mode="ctr", iv=NONCE)
+            with pytest.raises(RuntimeError, match="already consumed"):
+                wrapped.encrypt(b"second section", mode="ctr", iv=NONCE)
+        finally:
+            pf.cancel()
+
+    def test_other_nonce_falls_through(self):
+        wrapped, cipher, pf = self._wrapped()
+        try:
+            other = b"other-nc"
+            got = wrapped.encrypt(b"payload", mode="ctr", iv=other)
+            assert got.ciphertext == cipher.encrypt_ctr(b"payload", other).ciphertext
+        finally:
+            pf.cancel()
+
+    def test_cbc_delegates(self):
+        wrapped, cipher, pf = self._wrapped()
+        try:
+            iv = bytes(range(16))
+            got = wrapped.encrypt(b"payload", mode="cbc", iv=iv)
+            assert got.ciphertext == cipher.encrypt_cbc(b"payload", iv).ciphertext
+            # decrypt and attribute access delegate too
+            assert wrapped.decrypt(got.ciphertext, iv, mode="cbc") == b"payload"
+            assert wrapped.schedule is cipher.schedule
+        finally:
+            pf.cancel()
+
+    def test_zero_length_ctr(self):
+        wrapped, _, pf = self._wrapped(hint=0)
+        try:
+            assert wrapped.encrypt(b"", mode="ctr", iv=NONCE).ciphertext == b""
+        finally:
+            pf.cancel()

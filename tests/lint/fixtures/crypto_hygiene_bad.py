@@ -12,3 +12,19 @@ def leaky(key: bytes, key_byte: int):
     if key[0] & 1:
         iv = noise
     return SBOX[key_byte], iv
+
+
+def fixed_iv(cipher, payload: bytes):
+    return cipher.encrypt_cbc(payload, iv=bytes(16))
+
+
+def fixed_nonce(schedule, payload: bytes):
+    from repro.crypto import modes
+    return modes.ctr_xcrypt(payload, schedule, b"\x00" * 8)
+
+
+def reused_iv(cipher, rng, quant: bytes, tree: bytes):
+    iv = rng.generate_iv()
+    ct_a = cipher.encrypt(quant, mode="cbc", iv=iv)
+    ct_b = cipher.encrypt(tree, mode="cbc", iv=iv)
+    return ct_a, ct_b

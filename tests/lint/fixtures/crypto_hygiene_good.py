@@ -10,3 +10,10 @@ def expand(key: bytes | None):
     if not isinstance(key, bytes):
         raise TypeError("key must be bytes")
     return key[0:4]  # slicing INTO the key with public indices is fine
+
+
+def seal(cipher, rng, quant: bytes, tree: bytes):
+    # Fresh IV per encryption, drawn from the sanctioned rng wrapper.
+    ct_a = cipher.encrypt(quant, mode="cbc", iv=rng.generate_iv())
+    ct_b = cipher.encrypt(tree, mode="cbc", iv=rng.generate_iv())
+    return ct_a, ct_b

@@ -114,6 +114,22 @@ def test_crypto_bad_fixture_finds_each_category(tmp_path):
     assert "numpy.random" in messages
     assert "branch on secret-looking value" in messages
     assert "table index from secret-looking value" in messages
+    assert "literal IV/nonce" in messages
+    assert "reused by a second encrypt call" in messages
+
+
+def test_crypto_iv_check_applies_outside_crypto_package(tmp_path):
+    """The literal/reused-IV check covers every src/ caller, not just
+    repro.crypto — the randomness/secret-flow checks stay scoped."""
+    repo, target = make_repo(
+        tmp_path, "src/repro/bench/mod.py", "crypto_hygiene_bad.py"
+    )
+    messages = [f.message for f in run_rule(CryptoHygieneRule, repo, target).findings]
+    assert any("literal IV/nonce" in m for m in messages)
+    assert any("reused by a second encrypt call" in m for m in messages)
+    # package-scoped checks must NOT fire outside src/repro/crypto/
+    assert not any("import of 'random'" in m for m in messages)
+    assert not any("branch on secret-looking value" in m for m in messages)
 
 
 def test_rules_scope_to_their_modules(tmp_path):

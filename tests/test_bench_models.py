@@ -70,8 +70,11 @@ class TestPairedOverhead:
 
     def test_cmpr_encr_above_100(self):
         data = np.asarray(dataset_cache("nyx", size="tiny"))
+        # The signal (modeled encrypt, ~1.7 % of base) is close to the
+        # per-repeat deflate timing noise (sigma ~2 %), so a median of
+        # few repeats flakes below 100; 15 repeats pin the median.
         overhead = measure_overhead_paired(data, "cmpr_encr", 1e-7,
-                                           repeats=3)
+                                           repeats=15)
         assert 100.0 < overhead < 115.0
 
     def test_rejects_bad_repeats(self):

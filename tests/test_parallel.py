@@ -62,6 +62,56 @@ class TestChunked:
             offset += length
         assert len(set(ivs)) == n
 
+    def test_single_chunk_blob(self, field, key):
+        # n_chunks=1 is a degenerate but valid SECM framing: one length
+        # entry, one container, still round-trips.
+        csc = ChunkedSecureCompressor(
+            scheme="encr_huffman", error_bound=1e-3, key=key,
+            n_chunks=1, n_workers=1,
+        )
+        blob = csc.compress(field)
+        import struct
+        _, n = struct.unpack_from("<4sI", blob)
+        assert n == 1
+        assert _max_err(csc.decompress(blob), field) <= 1e-3
+
+    def test_ctr_roundtrip_and_slab_nonce_uniqueness(self, field, key):
+        from repro.core.container import parse_container
+        import struct
+
+        csc = ChunkedSecureCompressor(
+            scheme="encr_huffman", error_bound=1e-3, key=key,
+            cipher_mode="ctr", n_chunks=4, n_workers=1,
+        )
+        blob = csc.compress(field)
+        assert _max_err(csc.decompress(blob), field) <= 1e-3
+        _, n = struct.unpack_from("<4sI", blob)
+        lengths = struct.unpack_from(f"<{n}Q", blob, 8)
+        nonces = []
+        offset = 8 + 8 * n
+        for length in lengths:
+            nonces.append(parse_container(blob[offset : offset + length]).iv)
+            offset += length
+        assert len(set(nonces)) == n  # nonce reuse would leak slab XORs
+
+    def test_seeded_ctr_refused_by_default(self, key):
+        with pytest.raises(ValueError, match="nonce"):
+            ChunkedSecureCompressor(
+                scheme="encr_huffman", error_bound=1e-3, key=key,
+                cipher_mode="ctr", base_seed=7,
+            )
+
+    def test_seeded_ctr_with_optin_is_deterministic(self, field, key):
+        def run():
+            return ChunkedSecureCompressor(
+                scheme="encr_huffman", error_bound=1e-3, key=key,
+                cipher_mode="ctr", n_chunks=4, n_workers=1,
+                base_seed=7, allow_nonce_reuse=True,
+            ).compress(field)
+
+        a, b = run(), run()
+        assert a == b
+
     def test_too_many_chunks_rejected(self, key):
         csc = ChunkedSecureCompressor(scheme="none", n_chunks=50)
         with pytest.raises(ValueError, match="split"):
