@@ -8,6 +8,7 @@ Subcommands::
     secz trace          [INPUT | --synthetic NAME] [--json T.json] [--chrome T.trace]
     secz nist           INPUT [--streams 12]
     secz lint           [PATH ...] [--format text|json] [--disable RULE]
+    secz serve          --socket /run/secz.sock --store jobs.sqlite
     secz datasets
     secz advise         INPUT [--shape Z,Y,X] --eb 1e-3 [--randomness]
     secz img-compress   INPUT.npy OUTPUT --quality 80
@@ -72,6 +73,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="secz",
         description="Secure error-bounded lossy compression (SZ + AES-128).",
+        # The module docstring doubles as the --help epilog, and
+        # tests/test_docs.py audits every flag it names against the
+        # subparsers below — the synopsis cannot drift from the code.
+        epilog=__doc__.split("Subcommands::", 1)[1],
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -90,6 +96,9 @@ def build_parser() -> argparse.ArgumentParser:
                           "with compression)")
     p_c.add_argument("--key-hex", help="16-byte AES key as 32 hex chars")
     p_c.add_argument("--passphrase", help="derive the key from a passphrase")
+    p_c.add_argument("--seed", type=int, default=None,
+                     help="seed the IV stream for reproducible containers "
+                          "(CBC only; matches secz serve --seed)")
 
     p_d = sub.add_parser("decompress", help="restore a .secz container")
     p_d.add_argument("input")
@@ -151,6 +160,49 @@ def build_parser() -> argparse.ArgumentParser:
     p_l.add_argument("--list-rules", action="store_true",
                      help="list the shipped rules and exit")
 
+    p_s = sub.add_parser(
+        "serve",
+        help="run the asyncio compression daemon (see docs/SERVICE.md)",
+    )
+    endpoint = p_s.add_mutually_exclusive_group(required=True)
+    endpoint.add_argument("--socket", metavar="PATH", default=None,
+                          help="bind a unix socket at PATH")
+    endpoint.add_argument("--host", default=None,
+                          help="bind a TCP listener on HOST (with --port)")
+    p_s.add_argument("--port", type=int, default=9597,
+                     help="TCP port for --host (default 9597)")
+    p_s.add_argument("--store", required=True, metavar="PATH",
+                     help="sqlite job store (created if missing; a second "
+                          "serve on the same store resumes queued jobs)")
+    p_s.add_argument("--scheme", choices=sorted(SCHEMES),
+                     default="encr_huffman",
+                     help="default scheme for submissions that defer")
+    p_s.add_argument("--eb", type=float, default=1e-3,
+                     help="default error bound for submissions that defer")
+    p_s.add_argument("--cipher-mode", "--mode", dest="mode",
+                     choices=("cbc", "ctr"), default="cbc",
+                     help="cbc = paper-fidelity default, ctr = recommended "
+                          "throughput mode")
+    p_s.add_argument("--key-hex")
+    p_s.add_argument("--passphrase")
+    p_s.add_argument("--workers", type=int, default=2,
+                     help="compression worker threads (0 = ingest-only: "
+                          "accept and persist jobs but never run them)")
+    p_s.add_argument("--queue-limit", type=int, default=256,
+                     help="max queued jobs before SUBMIT gets "
+                          "ERR_QUEUE_FULL (default 256)")
+    p_s.add_argument("--batch-limit", type=int, default=8,
+                     help="max jobs one worker drains into a single "
+                          "warm-codec batch (default 8)")
+    p_s.add_argument("--job-timeout", type=float, default=None,
+                     help="seconds before a running batch is failed")
+    p_s.add_argument("--seed", type=int, default=None,
+                     help="seed the IV stream for reproducible containers "
+                          "(forces --workers 1 semantics per config)")
+    p_s.add_argument("--chunk-axis-min", type=int, default=0,
+                     help="route fields whose leading axis reaches this "
+                          "through the chunked compressor (0 = never)")
+
     p_g = sub.add_parser("datasets", help="list / write synthetic datasets")
     p_g.add_argument("--write", metavar="DIR", default=None,
                      help="write every dataset as .bin into DIR")
@@ -193,6 +245,8 @@ def _cmd_compress(args: argparse.Namespace) -> int:
         error_bound=args.eb,
         key=_key_from_args(args),
         cipher_mode=args.mode,
+        random_state=(np.random.default_rng(args.seed)
+                      if args.seed is not None else None),
     )
     result = sc.compress(np.ascontiguousarray(data, dtype=np.float32)
                          if data.dtype != np.float64 else data)
@@ -315,6 +369,40 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return report.exit_code
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service import CompressionService, ServiceConfig
+
+    config = ServiceConfig(
+        scheme=args.scheme,
+        error_bound=args.eb,
+        key=_key_from_args(args),
+        cipher_mode=args.mode,
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        batch_limit=args.batch_limit,
+        job_timeout=args.job_timeout,
+        seed=args.seed,
+        chunk_axis_min=args.chunk_axis_min,
+    )
+    try:
+        service = CompressionService(config, args.store)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+    endpoint = args.socket or f"{args.host}:{args.port}"
+    print(f"secz serve: {endpoint} (store {args.store}, "
+          f"scheme {args.scheme}, workers {args.workers})")
+    asyncio.run(service.serve(
+        socket_path=args.socket,
+        host=args.host,
+        port=args.port if args.host else None,
+        install_signal_handlers=True,
+    ))
+    print("secz serve: shut down cleanly")
+    return 0
+
+
 def _cmd_nist(args: argparse.Namespace) -> int:
     with open(args.input, "rb") as fh:
         blob = fh.read()
@@ -399,6 +487,7 @@ def main(argv: list[str] | None = None) -> int:
         "inspect": _cmd_inspect,
         "trace": _cmd_trace,
         "lint": _cmd_lint,
+        "serve": _cmd_serve,
         "nist": _cmd_nist,
         "datasets": _cmd_datasets,
         "advise": _cmd_advise,

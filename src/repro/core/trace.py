@@ -96,6 +96,10 @@ KNOWN_COUNTERS = (
     "zlib.deflate_out_bytes",      # compressed bytes out of zlib.compress
     "zlib.inflate_in_bytes",       # compressed bytes into zlib.decompress
     "zlib.inflate_out_bytes",      # plaintext bytes out of zlib.decompress
+    "service.jobs_submitted",      # jobs accepted (persisted + acked) by secz serve
+    "service.jobs_failed",         # serve jobs that ended in the failed state
+    "service.queue_wait_ms",       # wall ms serve jobs spent queued before a worker start
+    "service.batch_reuse_hits",    # serve jobs whose canonical codec came from the warm cache
 )
 
 _JSON_SCALARS = (str, int, float, bool, type(None))

@@ -30,6 +30,7 @@ FORMAT_MODULES = frozenset({
     "src/repro/parallel/chunked.py",
     "src/repro/parallel/filestream.py",
     "src/repro/archive.py",
+    "src/repro/service/protocol.py",
 })
 _STRUCT_FUNCS = (
     "Struct", "pack", "unpack", "pack_into", "unpack_from", "calcsize",

@@ -24,6 +24,7 @@ SPAN_PACKAGES = (
     "src/repro/sz/",
     "src/repro/crypto/",
     "src/repro/parallel/",
+    "src/repro/service/",
 )
 FULL_SCAN_PROXY = "src/repro/core/trace.py"
 

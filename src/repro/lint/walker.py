@@ -253,20 +253,19 @@ class RepoContext:
 
     @property
     def documented_structs(self) -> frozenset[str]:
-        """Normalized struct format bodies quoted in docs/FORMAT.md."""
+        """Normalized struct format bodies quoted in the format docs
+        (docs/FORMAT.md for containers, docs/SERVICE.md for SECP)."""
         if self._documented_structs is None:
-            self._documented_structs = frozenset(
-                _DOC_STRUCT.findall(self._read_doc("FORMAT.md"))
-            )
+            text = self._read_doc("FORMAT.md") + self._read_doc("SERVICE.md")
+            self._documented_structs = frozenset(_DOC_STRUCT.findall(text))
         return self._documented_structs
 
     @property
     def documented_magics(self) -> frozenset[str]:
-        """Four-byte magic strings named in docs/FORMAT.md."""
+        """Four-byte magic strings named in the format docs."""
         if self._documented_magics is None:
-            self._documented_magics = frozenset(
-                _DOC_MAGIC.findall(self._read_doc("FORMAT.md"))
-            )
+            text = self._read_doc("FORMAT.md") + self._read_doc("SERVICE.md")
+            self._documented_magics = frozenset(_DOC_MAGIC.findall(text))
         return self._documented_magics
 
 

@@ -1,0 +1,354 @@
+"""SECP/1 — the ``secz serve`` wire protocol.
+
+One frame shape serves every exchange: a fixed 20-byte header
+(magic, version, verb, status, job id, payload length) followed by the
+payload.  docs/SERVICE.md is the normative byte-level spec — the
+constants here are cross-checked against its tables by
+``tests/service/test_service_spec.py`` the same way
+``tests/test_format_spec.py`` pins docs/FORMAT.md, so the two cannot
+drift apart.
+
+Requests travel client → server with ``status == 0``; every response
+echoes the request verb and carries either ``STATUS_OK`` or an error
+code from the table below (error payloads are UTF-8 diagnostics).
+Helpers here are transport-agnostic: :func:`pack_frame` /
+:func:`unpack_header` for raw bytes, :func:`read_frame` /
+:func:`write_frame` for asyncio streams, and
+:func:`recv_frame_blocking` for plain sockets (the sync client).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import struct
+from dataclasses import dataclass
+
+__all__ = [
+    "PROTOCOL_MAGIC",
+    "PROTOCOL_VERSION",
+    "FRAME_HEADER",
+    "SUBMIT_HEAD",
+    "JOB_ID_BYTES",
+    "MAX_PAYLOAD",
+    "VERBS",
+    "VERB_SUBMIT",
+    "VERB_STATUS",
+    "VERB_FETCH",
+    "VERB_CANCEL",
+    "VERB_STAT",
+    "VERB_PING",
+    "VERB_WAIT",
+    "STATUS_OK",
+    "ERRORS",
+    "FLAG_DETACHED",
+    "SCHEME_DEFAULT",
+    "DTYPE_CODES",
+    "Frame",
+    "ProtocolError",
+    "pack_frame",
+    "unpack_header",
+    "pack_submit",
+    "unpack_submit",
+    "read_frame",
+    "write_frame",
+    "recv_frame_blocking",
+    "send_frame_blocking",
+]
+
+#: ASCII ``SECP`` — the frame magic (docs/SERVICE.md §2).
+PROTOCOL_MAGIC = b"SECP"
+PROTOCOL_VERSION = 1
+
+#: Frame header: magic, version, verb, status, job id, payload length.
+FRAME_HEADER = struct.Struct("<4sBBH8sI")
+#: SUBMIT payload head: priority, flags, scheme id, dtype code, eb, ndim.
+SUBMIT_HEAD = struct.Struct("<BBBBdB")
+
+JOB_ID_BYTES = 8
+NULL_JOB_ID = b"\x00" * JOB_ID_BYTES
+
+#: Hard ceiling on a frame payload; servers may configure a lower one.
+MAX_PAYLOAD = 1 << 30
+
+# -- verbs (docs/SERVICE.md §3) ----------------------------------------
+
+VERB_SUBMIT = 1
+VERB_STATUS = 2
+VERB_FETCH = 3
+VERB_CANCEL = 4
+VERB_STAT = 5
+VERB_PING = 6
+VERB_WAIT = 7
+
+VERBS = {
+    VERB_SUBMIT: "SUBMIT",
+    VERB_STATUS: "STATUS",
+    VERB_FETCH: "FETCH",
+    VERB_CANCEL: "CANCEL",
+    VERB_STAT: "STAT",
+    VERB_PING: "PING",
+    VERB_WAIT: "WAIT",
+}
+
+# -- status / error codes (docs/SERVICE.md §6) -------------------------
+
+STATUS_OK = 0
+
+ERRORS = {
+    1: "ERR_MAGIC",
+    2: "ERR_VERSION",
+    3: "ERR_VERB",
+    4: "ERR_PAYLOAD",
+    5: "ERR_UNKNOWN_JOB",
+    6: "ERR_NOT_DONE",
+    7: "ERR_JOB_FAILED",
+    8: "ERR_CANCELLED",
+    9: "ERR_QUEUE_FULL",
+    10: "ERR_UNCANCELLABLE",
+    11: "ERR_SHUTTING_DOWN",
+    12: "ERR_TOO_LARGE",
+}
+
+ERR_MAGIC = 1
+ERR_VERSION = 2
+ERR_VERB = 3
+ERR_PAYLOAD = 4
+ERR_UNKNOWN_JOB = 5
+ERR_NOT_DONE = 6
+ERR_JOB_FAILED = 7
+ERR_CANCELLED = 8
+ERR_QUEUE_FULL = 9
+ERR_UNCANCELLABLE = 10
+ERR_SHUTTING_DOWN = 11
+ERR_TOO_LARGE = 12
+
+# -- SUBMIT payload registries (docs/SERVICE.md §4) --------------------
+
+#: SUBMIT flags bit 0: the job survives its submitting connection.
+FLAG_DETACHED = 0x01
+#: Scheme id 255 in a SUBMIT defers to the server's configured scheme.
+SCHEME_DEFAULT = 0xFF
+
+#: dtype codes shared with the SZ frame meta (FORMAT.md §3).
+DTYPE_CODES = {0: "float32", 1: "float64"}
+DTYPE_IDS = {name: code for code, name in DTYPE_CODES.items()}
+
+MAX_NDIM = 4
+
+
+class ProtocolError(ValueError):
+    """A malformed SECP frame or payload; carries the wire error code."""
+
+    def __init__(self, code: int, message: str) -> None:
+        super().__init__(message)
+        self.code = code
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One decoded SECP frame (header fields + payload bytes)."""
+
+    verb: int
+    status: int
+    job_id: bytes
+    payload: bytes
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_OK
+
+    @property
+    def error_name(self) -> str:
+        return ERRORS.get(self.status, f"ERR_{self.status}")
+
+
+def pack_frame(
+    verb: int,
+    *,
+    status: int = STATUS_OK,
+    job_id: bytes = NULL_JOB_ID,
+    payload: bytes = b"",
+) -> bytes:
+    """Serialize one frame: header then payload."""
+    if len(job_id) != JOB_ID_BYTES:
+        raise ValueError(f"job id must be {JOB_ID_BYTES} bytes")
+    if len(payload) > MAX_PAYLOAD:
+        raise ValueError("frame payload exceeds the protocol ceiling")
+    return FRAME_HEADER.pack(
+        PROTOCOL_MAGIC, PROTOCOL_VERSION, verb, status, job_id, len(payload)
+    ) + payload
+
+
+def unpack_header(header: bytes) -> tuple[int, int, bytes, int]:
+    """Decode and validate a 20-byte frame header.
+
+    Returns ``(verb, status, job_id, payload_length)``; raises
+    :class:`ProtocolError` with the documented error code on a bad
+    magic, unsupported version, or oversized payload.
+    """
+    magic, version, verb, status, job_id, length = FRAME_HEADER.unpack(header)
+    if magic != PROTOCOL_MAGIC:
+        raise ProtocolError(ERR_MAGIC, f"bad frame magic {magic!r}")
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            ERR_VERSION, f"unsupported SECP version {version}"
+        )
+    if length > MAX_PAYLOAD:
+        raise ProtocolError(
+            ERR_TOO_LARGE, f"frame payload of {length} bytes exceeds ceiling"
+        )
+    return verb, status, job_id, length
+
+
+def pack_submit(
+    field_bytes: bytes,
+    shape: tuple[int, ...],
+    dtype: str,
+    *,
+    eb: float = 0.0,
+    scheme_id: int = SCHEME_DEFAULT,
+    priority: int = 16,
+    flags: int = 0,
+) -> bytes:
+    """Build a SUBMIT payload: spec head, dims, then the raw field.
+
+    ``eb == 0.0`` and ``scheme_id == SCHEME_DEFAULT`` defer to the
+    server's configured policy (docs/SERVICE.md §4).
+    """
+    if dtype not in DTYPE_IDS:
+        raise ValueError(f"unsupported dtype {dtype!r} (float32/float64)")
+    ndim = len(shape)
+    if not 1 <= ndim <= MAX_NDIM:
+        raise ValueError(f"shape must have 1..{MAX_NDIM} dims, got {ndim}")
+    head = SUBMIT_HEAD.pack(
+        priority, flags, scheme_id, DTYPE_IDS[dtype], float(eb), ndim
+    )
+    dims = struct.pack(f"<{ndim}Q", *shape)
+    return head + dims + field_bytes
+
+
+def unpack_submit(payload: bytes) -> dict:
+    """Decode a SUBMIT payload into its job-spec dict.
+
+    Raises :class:`ProtocolError` (``ERR_PAYLOAD``) when the head is
+    truncated, the dims are invalid, or the field byte count does not
+    match ``prod(shape) * itemsize``.
+    """
+    if len(payload) < SUBMIT_HEAD.size:
+        raise ProtocolError(ERR_PAYLOAD, "SUBMIT payload shorter than head")
+    priority, flags, scheme_id, dtype_code, eb, ndim = SUBMIT_HEAD.unpack_from(
+        payload
+    )
+    if dtype_code not in DTYPE_CODES:
+        raise ProtocolError(ERR_PAYLOAD, f"unknown dtype code {dtype_code}")
+    if not 1 <= ndim <= MAX_NDIM:
+        raise ProtocolError(ERR_PAYLOAD, f"ndim must be 1..{MAX_NDIM}")
+    offset = SUBMIT_HEAD.size
+    if len(payload) < offset + 8 * ndim:
+        raise ProtocolError(ERR_PAYLOAD, "SUBMIT payload truncated in dims")
+    shape = struct.unpack_from(f"<{ndim}Q", payload, offset)
+    offset += 8 * ndim
+    if any(d < 1 for d in shape):
+        raise ProtocolError(ERR_PAYLOAD, f"bad field shape {shape}")
+    n_elements = 1
+    for dim in shape:
+        n_elements *= dim
+    itemsize = 4 if dtype_code == 0 else 8
+    expected = n_elements * itemsize
+    if len(payload) - offset != expected:
+        raise ProtocolError(
+            ERR_PAYLOAD,
+            f"field bytes ({len(payload) - offset}) do not match shape "
+            f"{shape} x {DTYPE_CODES[dtype_code]} ({expected})",
+        )
+    if eb < 0.0 or eb != eb:  # negative or NaN
+        raise ProtocolError(ERR_PAYLOAD, f"bad error bound {eb!r}")
+    return {
+        "priority": priority,
+        "flags": flags,
+        "scheme_id": scheme_id,
+        "dtype": DTYPE_CODES[dtype_code],
+        "eb": eb,
+        "shape": shape,
+        "field": payload[offset:],
+    }
+
+
+# -- asyncio transport -------------------------------------------------
+
+
+async def read_frame(
+    reader: asyncio.StreamReader, *, max_payload: int = MAX_PAYLOAD
+) -> Frame | None:
+    """Read one frame from an asyncio stream; ``None`` on clean EOF.
+
+    Raises :class:`ProtocolError` on a bad header or a payload above
+    ``max_payload``; :class:`asyncio.IncompleteReadError` surfaces a
+    mid-frame disconnect.
+    """
+    try:
+        header = await reader.readexactly(FRAME_HEADER.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise
+    verb, status, job_id, length = unpack_header(header)
+    if length > max_payload:
+        raise ProtocolError(
+            ERR_TOO_LARGE,
+            f"frame payload of {length} bytes exceeds the server limit "
+            f"of {max_payload}",
+        )
+    payload = await reader.readexactly(length) if length else b""
+    return Frame(verb=verb, status=status, job_id=job_id, payload=payload)
+
+
+async def write_frame(
+    writer: asyncio.StreamWriter,
+    verb: int,
+    *,
+    status: int = STATUS_OK,
+    job_id: bytes = NULL_JOB_ID,
+    payload: bytes = b"",
+) -> None:
+    """Serialize and flush one frame onto an asyncio stream."""
+    writer.write(pack_frame(verb, status=status, job_id=job_id,
+                            payload=payload))
+    await writer.drain()
+
+
+# -- blocking-socket transport (sync client, tests) --------------------
+
+
+def _recv_exactly(sock: socket.socket, n: int) -> bytes:
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            raise ConnectionError("connection closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame_blocking(sock: socket.socket) -> Frame:
+    """Read one frame from a blocking socket (the sync client path)."""
+    header = _recv_exactly(sock, FRAME_HEADER.size)
+    verb, status, job_id, length = unpack_header(header)
+    payload = _recv_exactly(sock, length) if length else b""
+    return Frame(verb=verb, status=status, job_id=job_id, payload=payload)
+
+
+def send_frame_blocking(
+    sock: socket.socket,
+    verb: int,
+    *,
+    status: int = STATUS_OK,
+    job_id: bytes = NULL_JOB_ID,
+    payload: bytes = b"",
+) -> None:
+    """Serialize and send one frame over a blocking socket."""
+    sock.sendall(pack_frame(verb, status=status, job_id=job_id,
+                            payload=payload))

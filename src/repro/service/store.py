@@ -1,0 +1,178 @@
+"""Sqlite-backed job/result store for ``secz serve``.
+
+The store is the daemon's durability layer: every submitted job is
+written before it is acknowledged, raw field payloads live here (not
+in process memory) until a worker picks them up, and finished
+containers stay fetchable until expired.  Because the full lifecycle
+is on disk, a second ``secz serve`` on the same store resumes exactly
+where the first stopped: jobs found ``running`` at startup were
+interrupted mid-flight and are re-queued, jobs found ``queued`` are
+simply re-enqueued in (priority, submission) order.
+
+All access happens on the event-loop thread (the executor only ever
+runs compression), so one connection with no locking suffices; the
+sqlite file itself uses WAL so an operator can inspect a live store
+read-only.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+from pathlib import Path
+
+from repro.service import jobs as jobstates
+
+__all__ = ["JobStore"]
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS jobs (
+    job_id      TEXT PRIMARY KEY,
+    state       INTEGER NOT NULL,
+    priority    INTEGER NOT NULL,
+    detached    INTEGER NOT NULL,
+    scheme      TEXT NOT NULL,
+    eb          REAL NOT NULL,
+    dtype       TEXT NOT NULL,
+    shape       TEXT NOT NULL,
+    submitted_at REAL NOT NULL,
+    started_at  REAL,
+    finished_at REAL,
+    payload     BLOB,
+    container   BLOB,
+    error       TEXT NOT NULL DEFAULT ''
+);
+CREATE INDEX IF NOT EXISTS jobs_by_state ON jobs (state);
+"""
+
+
+class JobStore:
+    """One sqlite file holding the daemon's complete job lifecycle."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = str(path)
+        # The service may be constructed on one thread and run its loop
+        # on another (serve_in_background); all *concurrent* access
+        # still happens on the single event-loop thread.
+        self._db = sqlite3.connect(self.path, check_same_thread=False)
+        self._db.execute("PRAGMA journal_mode=WAL")
+        self._db.executescript(_SCHEMA)
+        self._db.commit()
+
+    def close(self) -> None:
+        self._db.close()
+
+    # -- lifecycle writes ----------------------------------------------
+
+    def insert(self, job: jobstates.Job, payload: bytes) -> None:
+        """Persist a freshly submitted job with its raw field bytes."""
+        self._db.execute(
+            "INSERT INTO jobs (job_id, state, priority, detached, scheme,"
+            " eb, dtype, shape, submitted_at, payload) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            (
+                job.job_id.hex(), job.state, job.priority,
+                int(job.detached), job.scheme, job.eb, job.dtype,
+                json.dumps(list(job.shape)), job.submitted_at,
+                sqlite3.Binary(payload),
+            ),
+        )
+        self._db.commit()
+
+    def mark_running(self, job: jobstates.Job) -> None:
+        self._db.execute(
+            "UPDATE jobs SET state = ?, started_at = ? WHERE job_id = ?",
+            (jobstates.RUNNING, job.started_at, job.job_id.hex()),
+        )
+        self._db.commit()
+
+    def finish(self, job: jobstates.Job, container: bytes | None) -> None:
+        """Record a terminal state; the payload is dropped either way."""
+        self._db.execute(
+            "UPDATE jobs SET state = ?, finished_at = ?, container = ?,"
+            " error = ?, payload = NULL WHERE job_id = ?",
+            (
+                job.state, job.finished_at,
+                sqlite3.Binary(container) if container is not None else None,
+                job.error, job.job_id.hex(),
+            ),
+        )
+        self._db.commit()
+
+    def requeue_interrupted(self) -> int:
+        """Reset ``running`` rows to ``queued`` (a previous daemon died
+        or was terminated mid-job); returns how many were reset."""
+        cur = self._db.execute(
+            "UPDATE jobs SET state = ?, started_at = NULL WHERE state = ?",
+            (jobstates.QUEUED, jobstates.RUNNING),
+        )
+        self._db.commit()
+        return cur.rowcount
+
+    # -- reads ---------------------------------------------------------
+
+    def payload(self, job_id: bytes) -> bytes | None:
+        row = self._db.execute(
+            "SELECT payload FROM jobs WHERE job_id = ?", (job_id.hex(),)
+        ).fetchone()
+        return None if row is None or row[0] is None else bytes(row[0])
+
+    def container(self, job_id: bytes) -> bytes | None:
+        row = self._db.execute(
+            "SELECT container FROM jobs WHERE job_id = ?", (job_id.hex(),)
+        ).fetchone()
+        return None if row is None or row[0] is None else bytes(row[0])
+
+    def load(self, job_id: bytes) -> jobstates.Job | None:
+        """Rebuild a :class:`~repro.service.jobs.Job` from its row."""
+        row = self._db.execute(
+            "SELECT job_id, state, priority, detached, scheme, eb, dtype,"
+            " shape, submitted_at, started_at, finished_at, error"
+            " FROM jobs WHERE job_id = ?",
+            (job_id.hex(),),
+        ).fetchone()
+        return None if row is None else self._job_from_row(row)
+
+    def queued_jobs(self) -> list[jobstates.Job]:
+        """Every ``queued`` job, in (priority, submission) order."""
+        rows = self._db.execute(
+            "SELECT job_id, state, priority, detached, scheme, eb, dtype,"
+            " shape, submitted_at, started_at, finished_at, error"
+            " FROM jobs WHERE state = ?"
+            " ORDER BY priority ASC, submitted_at ASC",
+            (jobstates.QUEUED,),
+        ).fetchall()
+        return [self._job_from_row(row) for row in rows]
+
+    def counts_by_state(self) -> dict[str, int]:
+        """``{state name: row count}`` over the whole store."""
+        counts = {name: 0 for name in jobstates.STATE_NAMES.values()}
+        for state, n in self._db.execute(
+            "SELECT state, COUNT(*) FROM jobs GROUP BY state"
+        ):
+            counts[jobstates.STATE_NAMES[state]] = n
+        return counts
+
+    @staticmethod
+    def _job_from_row(row: tuple) -> jobstates.Job:
+        (job_id, state, priority, detached, scheme, eb, dtype, shape,
+         submitted_at, started_at, finished_at, error) = row
+        job = jobstates.Job(
+            job_id=bytes.fromhex(job_id),
+            priority=priority,
+            scheme=scheme,
+            eb=eb,
+            dtype=dtype,
+            shape=tuple(json.loads(shape)),
+            detached=bool(detached),
+            submitted_at=submitted_at,
+            started_at=started_at or 0.0,
+            finished_at=finished_at or 0.0,
+            error=error,
+        )
+        # Bypass the transition automaton: the row already holds a
+        # validated state, possibly terminal.
+        job.state = state
+        if job.terminal:
+            job.done_event.set()
+        return job

@@ -67,6 +67,7 @@ __all__ = [
     "decode",
     "codec_for",
     "codec_cache_clear",
+    "codec_cache_stats",
     "serialize_tree",
     "deserialize_tree",
     "serialize_lane_tree",
@@ -1161,6 +1162,24 @@ def codec_cache_clear() -> None:
     """Drop every cached codec (tests and fixture regeneration)."""
     with _codec_cache_lock:
         _codec_cache.clear()
+
+
+def codec_cache_stats() -> dict:
+    """Introspect the process-wide codec cache (no counters here —
+    hit/miss totals live in ``trace.counters_snapshot()``).
+
+    Long-lived services (``secz serve``'s STAT verb) report this next
+    to the counter-derived hit rate: ``size``/``capacity`` say how much
+    of the LRU is populated, ``digests`` identifies the resident code
+    tables (hex, LRU order, oldest first) so repeated fields are
+    visibly sharing canonical codecs.
+    """
+    with _codec_cache_lock:
+        return {
+            "size": len(_codec_cache),
+            "capacity": _CODEC_CACHE_SIZE,
+            "digests": [key.hex() for key in _codec_cache],
+        }
 
 
 def decoder_for(code: HuffmanCode) -> _Decoder:

@@ -1,0 +1,135 @@
+"""SECP framing and SUBMIT codec unit tests (no server involved)."""
+
+import struct
+
+import numpy as np
+import pytest
+
+from repro.service import protocol
+
+
+class TestFrameCodec:
+    def test_roundtrip(self):
+        blob = protocol.pack_frame(
+            protocol.VERB_SUBMIT, status=protocol.STATUS_OK,
+            job_id=b"\x01" * 8, payload=b"hello",
+        )
+        verb, status, job_id, length = protocol.unpack_header(
+            blob[:protocol.FRAME_HEADER.size]
+        )
+        assert (verb, status, job_id, length) == \
+            (protocol.VERB_SUBMIT, 0, b"\x01" * 8, 5)
+        assert blob[protocol.FRAME_HEADER.size:] == b"hello"
+
+    def test_header_is_20_bytes(self):
+        assert protocol.FRAME_HEADER.size == 20
+
+    def test_bad_magic(self):
+        blob = bytearray(protocol.pack_frame(protocol.VERB_PING))
+        blob[:4] = b"NOPE"
+        with pytest.raises(protocol.ProtocolError) as exc:
+            protocol.unpack_header(bytes(blob[:20]))
+        assert exc.value.code == protocol.ERR_MAGIC
+
+    def test_bad_version(self):
+        blob = bytearray(protocol.pack_frame(protocol.VERB_PING))
+        blob[4] = 99
+        with pytest.raises(protocol.ProtocolError) as exc:
+            protocol.unpack_header(bytes(blob[:20]))
+        assert exc.value.code == protocol.ERR_VERSION
+
+    def test_oversized_payload_length(self):
+        header = protocol.FRAME_HEADER.pack(
+            protocol.PROTOCOL_MAGIC, protocol.PROTOCOL_VERSION,
+            protocol.VERB_PING, 0, b"\x00" * 8, protocol.MAX_PAYLOAD + 1,
+        )
+        with pytest.raises(protocol.ProtocolError) as exc:
+            protocol.unpack_header(header)
+        assert exc.value.code == protocol.ERR_TOO_LARGE
+
+    def test_bad_job_id_length(self):
+        with pytest.raises(ValueError):
+            protocol.pack_frame(protocol.VERB_PING, job_id=b"short")
+
+    def test_frame_helpers(self):
+        frame = protocol.Frame(verb=protocol.VERB_FETCH,
+                               status=protocol.ERR_NOT_DONE,
+                               job_id=b"\x00" * 8, payload=b"")
+        assert not frame.ok
+        assert frame.error_name == "ERR_NOT_DONE"
+        ok = protocol.Frame(verb=protocol.VERB_PING, status=0,
+                            job_id=b"\x00" * 8, payload=b"")
+        assert ok.ok
+
+
+class TestSubmitCodec:
+    def test_roundtrip(self):
+        field = np.arange(24, dtype=np.float32).reshape(2, 3, 4)
+        payload = protocol.pack_submit(
+            field.tobytes(), field.shape, "float32",
+            eb=1e-4, scheme_id=3, priority=5,
+            flags=protocol.FLAG_DETACHED,
+        )
+        spec = protocol.unpack_submit(payload)
+        assert spec["priority"] == 5
+        assert spec["flags"] == protocol.FLAG_DETACHED
+        assert spec["scheme_id"] == 3
+        assert spec["dtype"] == "float32"
+        assert spec["eb"] == 1e-4
+        assert spec["shape"] == (2, 3, 4)
+        restored = np.frombuffer(spec["field"], dtype=np.float32)
+        np.testing.assert_array_equal(restored.reshape(2, 3, 4), field)
+
+    def test_float64(self):
+        field = np.linspace(0, 1, 8, dtype=np.float64)
+        payload = protocol.pack_submit(field.tobytes(), field.shape,
+                                       "float64")
+        spec = protocol.unpack_submit(payload)
+        assert spec["dtype"] == "float64"
+        assert spec["scheme_id"] == protocol.SCHEME_DEFAULT
+        assert spec["eb"] == 0.0
+
+    @pytest.mark.parametrize("mutate, message", [
+        (lambda p: p[:5], "shorter than head"),
+        (lambda p: p[:protocol.SUBMIT_HEAD.size + 4], "truncated in dims"),
+        (lambda p: p + b"x", "do not match"),
+        (lambda p: p[:-1], "do not match"),
+    ])
+    def test_malformed_payloads(self, mutate, message):
+        field = np.zeros(6, dtype=np.float32)
+        payload = protocol.pack_submit(field.tobytes(), field.shape,
+                                       "float32")
+        with pytest.raises(protocol.ProtocolError) as exc:
+            protocol.unpack_submit(mutate(payload))
+        assert exc.value.code == protocol.ERR_PAYLOAD
+        assert message in str(exc.value)
+
+    def test_bad_dtype_code(self):
+        payload = bytearray(protocol.pack_submit(
+            np.zeros(2, dtype=np.float32).tobytes(), (2,), "float32"
+        ))
+        payload[3] = 7  # dtype code offset in the head
+        with pytest.raises(protocol.ProtocolError) as exc:
+            protocol.unpack_submit(bytes(payload))
+        assert exc.value.code == protocol.ERR_PAYLOAD
+
+    def test_zero_dim_rejected(self):
+        head = protocol.SUBMIT_HEAD.pack(16, 0, 255, 0, 0.0, 1)
+        payload = head + struct.pack("<1Q", 0)
+        with pytest.raises(protocol.ProtocolError):
+            protocol.unpack_submit(payload)
+
+    def test_nan_eb_rejected(self):
+        field = np.zeros(2, dtype=np.float32)
+        payload = bytearray(protocol.pack_submit(
+            field.tobytes(), (2,), "float32"
+        ))
+        payload[4:12] = struct.pack("<d", float("nan"))
+        with pytest.raises(protocol.ProtocolError):
+            protocol.unpack_submit(bytes(payload))
+
+    def test_ndim_bounds(self):
+        with pytest.raises(ValueError):
+            protocol.pack_submit(b"", (), "float32")
+        with pytest.raises(ValueError):
+            protocol.pack_submit(b"", (1, 1, 1, 1, 1), "float32")

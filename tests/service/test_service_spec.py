@@ -1,0 +1,130 @@
+"""docs/SERVICE.md cross-check: parse live SECP frames with only
+``struct``, and pin the doc's tables to the code's constants.
+
+Mirrors ``tests/test_format_spec.py``: the readers below are
+re-implemented from the byte offsets documented in docs/SERVICE.md —
+no repro parsing code — so the spec and ``repro.service.protocol``
+cannot drift apart.
+"""
+
+import os
+import re
+import struct
+
+import numpy as np
+
+from repro.service import jobs, protocol
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+SERVICE_MD = os.path.join(HERE, os.pardir, os.pardir, "docs", "SERVICE.md")
+
+with open(SERVICE_MD, encoding="utf-8") as fh:
+    DOC = fh.read()
+
+# Documented layouts (SERVICE.md §2, §4) — written out independently.
+FRAME_HEADER = struct.Struct("<4sBBH8sI")
+SUBMIT_HEAD = struct.Struct("<BBBBdB")
+
+
+def _section(heading: str) -> str:
+    start = DOC.index(heading)
+    end = DOC.find("\n## ", start + 1)
+    return DOC[start:end] if end > 0 else DOC[start:]
+
+
+def _table_rows(section: str) -> list[list[str]]:
+    rows = []
+    for line in section.splitlines():
+        if not line.startswith("|") or set(line) <= {"|", "-", ":", " "}:
+            continue
+        cells = [cell.strip() for cell in line.strip("|").split("|")]
+        if cells and not cells[0].isdigit():
+            continue  # header row
+        rows.append(cells)
+    return rows
+
+
+class TestDocTables:
+    def test_verb_table_matches_code(self):
+        documented = {
+            int(row[0]): row[1] for row in _table_rows(_section("## 3. Verbs"))
+        }
+        assert documented == protocol.VERBS
+
+    def test_error_table_matches_code(self):
+        documented = {
+            int(row[0]): row[1]
+            for row in _table_rows(_section("## 6. Error codes"))
+        }
+        assert documented == protocol.ERRORS
+
+    def test_state_table_matches_code(self):
+        rows = _table_rows(_section("## 5. Job lifecycle"))
+        documented = {int(row[0]): row[1].strip("`") for row in rows}
+        assert documented == jobs.STATE_NAMES
+        terminal = {int(row[0]) for row in rows if row[2] == "yes"}
+        assert terminal == set(jobs.TERMINAL_STATES)
+
+    def test_transitions_match_prose(self):
+        # Every legal edge (and no other) is named in §5's bullet list.
+        section = _section("## 5. Job lifecycle")
+        for src, dst in jobs.LEGAL_TRANSITIONS:
+            pair = (f"{jobs.STATE_NAMES[src]} → {jobs.STATE_NAMES[dst]}",
+                    f"`{jobs.STATE_NAMES[src]} → {jobs.STATE_NAMES[dst]}")
+            assert any(p in section for p in pair) or re.search(
+                jobs.STATE_NAMES[src] + r" → .*" + jobs.STATE_NAMES[dst],
+                section,
+            ), (src, dst)
+        assert "done →" not in section and "failed →" not in section
+
+    def test_documented_constants(self):
+        assert "`<4sBBH8sI`" in DOC and "(20 bytes)" in DOC
+        assert "`<BBBBdB`" in DOC and "(13 bytes)" in DOC
+        assert FRAME_HEADER.size == 20
+        assert SUBMIT_HEAD.size == 13
+        assert protocol.FRAME_HEADER.format == FRAME_HEADER.format
+        assert protocol.SUBMIT_HEAD.format == SUBMIT_HEAD.format
+        assert "ASCII `SECP`" in DOC
+        assert protocol.PROTOCOL_MAGIC == b"SECP"
+        assert "**255** = server default" in DOC
+        assert protocol.SCHEME_DEFAULT == 255
+
+
+class TestStructOnlyReparse:
+    """Decode real frames exactly as SERVICE.md §2/§4 document them."""
+
+    def test_reparse_response_frame(self):
+        blob = protocol.pack_frame(
+            protocol.VERB_STATUS, status=protocol.ERR_NOT_DONE,
+            job_id=bytes(range(8)), payload=b"\x01",
+        )
+        magic, version, verb, status, job_id, plen = FRAME_HEADER.unpack(
+            blob[:20]
+        )
+        assert magic == b"SECP"
+        assert version == 1
+        assert verb == 2  # STATUS per the §3 table
+        assert status == 6  # ERR_NOT_DONE per the §6 table
+        assert job_id == bytes(range(8))
+        assert plen == 1
+        assert blob[20:] == b"\x01"
+        assert len(blob) == 20 + plen
+
+    def test_reparse_submit_payload(self):
+        field = np.linspace(0, 1, 30, dtype=np.float32).reshape(5, 6)
+        blob = protocol.pack_submit(
+            field.tobytes(), field.shape, "float32",
+            eb=2e-3, scheme_id=3, priority=7, flags=1,
+        )
+        priority, flags, scheme_id, dtype_code, eb, ndim = \
+            SUBMIT_HEAD.unpack_from(blob)
+        assert (priority, flags, scheme_id, dtype_code) == (7, 1, 3, 0)
+        assert eb == 2e-3
+        assert ndim == 2
+        dims = struct.unpack_from(f"<{ndim}Q", blob, SUBMIT_HEAD.size)
+        assert dims == (5, 6)
+        offset = SUBMIT_HEAD.size + 8 * ndim
+        raw = np.frombuffer(blob[offset:], dtype="<f4").reshape(dims)
+        np.testing.assert_array_equal(raw, field)
+        # "exactly prod(dims) x itemsize bytes — nothing else"
+        assert len(blob) == offset + 5 * 6 * 4

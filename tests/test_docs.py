@@ -122,3 +122,79 @@ def test_readme_has_a_runnable_block():
     """The opt-out must not quietly swallow everything."""
     assert any(doc == "README.md" for doc, _ in
                (p.values for p in collect_runnable_blocks()))
+
+
+# ----------------------------------------------------------------------
+# CLI flag drift: every documented `secz` flag must exist in the parser
+# ----------------------------------------------------------------------
+
+_SECZ_INVOCATION = re.compile(r"^\s*secz\s+([a-z-]+)\s+(.*)$")
+_FLAG = re.compile(r"(--[a-z][a-z0-9-]*)")
+
+
+def _parser_flags():
+    """{subcommand: set of option strings} from the real parser."""
+    sys.path.insert(0, os.path.join(REPO, "src"))
+    try:
+        from repro.cli import build_parser
+    finally:
+        sys.path.pop(0)
+    parser = build_parser()
+    subparsers = next(
+        a for a in parser._actions
+        if a.__class__.__name__ == "_SubParsersAction"
+    )
+    flags = {}
+    for name, sub in subparsers.choices.items():
+        flags[name] = {
+            opt for action in sub._actions for opt in action.option_strings
+        }
+    return flags
+
+
+def collect_documented_invocations():
+    """(doc, subcommand, flags) for every ``secz`` call in the docs and
+    the ``secz --help`` epilog, scanning fenced blocks and continuation
+    lines (trailing ``\\``)."""
+    sources = list(DOC_FILES) + [os.path.join("src", "repro", "cli.py")]
+    found = []
+    for doc in sources:
+        with open(os.path.join(REPO, doc), encoding="utf-8") as fh:
+            lines = fh.read().splitlines()
+        i = 0
+        while i < len(lines):
+            m = _SECZ_INVOCATION.match(lines[i])
+            i += 1
+            if m is None:
+                continue
+            command = m.group(1)
+            rest = m.group(2)
+            while rest.rstrip().endswith("\\") and i < len(lines):
+                rest = rest.rstrip()[:-1] + " " + lines[i].strip()
+                i += 1
+            # Strip inline comments so `# --flag in prose` is not parsed.
+            rest = rest.split("#", 1)[0]
+            found.append((doc, command, frozenset(_FLAG.findall(rest))))
+    return found
+
+
+def test_documented_secz_flags_exist_in_parser():
+    parser_flags = _parser_flags()
+    problems = []
+    for doc, command, flags in collect_documented_invocations():
+        if command not in parser_flags:
+            problems.append(f"{doc}: unknown subcommand 'secz {command}'")
+            continue
+        for flag in sorted(flags - parser_flags[command]):
+            problems.append(
+                f"{doc}: 'secz {command}' has no flag {flag}"
+            )
+    assert not problems, "documented CLI drifted from the parser:\n" + \
+        "\n".join(problems)
+
+
+def test_docs_actually_document_secz_invocations():
+    """The drift check must not pass vacuously."""
+    invocations = collect_documented_invocations()
+    assert len(invocations) >= 5
+    assert any(flags for _, _, flags in invocations)

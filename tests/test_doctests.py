@@ -56,3 +56,23 @@ def test_trace_profile_example_runs(tmp_path):
     assert "compress" in proc.stdout
     assert (tmp_path / "trace.json").exists()
     assert (tmp_path / "trace.chrome.json").exists()
+
+
+def test_serve_client_example_runs(tmp_path):
+    """examples/serve_client.py must stay runnable end to end."""
+    import os
+    import subprocess
+    import sys
+
+    repo = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    script = os.path.join(repo, "examples", "serve_client.py")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(repo, "src")
+    proc = subprocess.run(
+        [sys.executable, script, "--fields", "3", "--side", "16"],
+        capture_output=True, text=True, env=env, cwd=tmp_path, timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "secp-stat/1" in proc.stdout
+    assert "round trip max error" in proc.stdout
+    assert "hit rate" in proc.stdout
