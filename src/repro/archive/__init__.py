@@ -1,0 +1,35 @@
+"""Secure archives: flat v1 bundles and the content-addressed v2 store.
+
+Two generations live side by side:
+
+* :class:`SecureArchive` (``legacy``) — the flat SECB v1 bundle: a
+  plaintext name index in front of back-to-back SECZ containers.
+  Kept verbatim for existing archives and fixtures.
+* :class:`ArchiveStore` (``store``) — the SECB v2 content-addressed
+  store: content-defined chunking, SHA-256 addressed store-once blobs
+  with refcounts, per-entry scheme/codec/error-bound metadata, and
+  incremental append.  ``secz archive`` drives it from the CLI.
+
+Import from the package root; the submodule split is an
+implementation detail.
+
+Examples
+--------
+>>> import os, tempfile
+>>> from repro.archive import ArchiveStore
+>>> path = os.path.join(tempfile.mkdtemp(), "runs.secb")
+>>> store = ArchiveStore.create(path, key=bytes(range(16)))
+>>> store.add_bytes("ckpt", b"weights " * 512, codec="lz77h")
+>>> store.add_bytes("ckpt-copy", b"weights " * 512)  # stored once
+>>> store.stats()["dedup_ratio"] > 1.5
+True
+>>> store.extract_bytes("ckpt-copy")[:8]
+b'weights '
+>>> store.verify(deep=True)
+[]
+"""
+
+from repro.archive.legacy import SecureArchive
+from repro.archive.store import ArchiveStore, ArchiveCorrupt
+
+__all__ = ["SecureArchive", "ArchiveStore", "ArchiveCorrupt"]

@@ -7,6 +7,11 @@ Subcommands::
     secz inspect        INPUT
     secz trace          [INPUT | --synthetic NAME] [--json T.json] [--chrome T.trace]
     secz nist           INPUT [--streams 12]
+    secz archive add     ARCHIVE NAME INPUT [--codec lz77h] [--field] [--eb 1e-3]
+    secz archive extract ARCHIVE NAME OUTPUT
+    secz archive list    ARCHIVE
+    secz archive verify  ARCHIVE [--deep]
+    secz archive gc      ARCHIVE
     secz lint           [PATH ...] [--format text|json] [--disable RULE]
     secz serve          --socket /run/secz.sock --store jobs.sqlite
     secz datasets
@@ -141,6 +146,71 @@ def build_parser() -> argparse.ArgumentParser:
     p_n = sub.add_parser("nist", help="run SP800-22 on a file's bytes")
     p_n.add_argument("input")
     p_n.add_argument("--streams", type=int, default=12)
+
+    p_ar = sub.add_parser(
+        "archive",
+        help="content-addressed SECB v2 store (see docs/FORMAT.md §10.2)",
+    )
+    ar_sub = p_ar.add_subparsers(dest="archive_command", required=True)
+
+    def _archive_common(p, *, key=True):
+        p.add_argument("archive", help="path of the .secb archive file")
+        if key:
+            p.add_argument("--key-hex",
+                           help="16-byte AES key as 32 hex chars")
+            p.add_argument("--passphrase",
+                           help="derive the key from a passphrase")
+            p.add_argument("--cipher-mode", "--mode", dest="mode",
+                           choices=("cbc", "ctr"), default="cbc",
+                           help="blob sealing mode (default cbc)")
+
+    ar_add = ar_sub.add_parser(
+        "add", help="chunk, dedup, seal and append one entry"
+    )
+    _archive_common(ar_add)
+    ar_add.add_argument("name", help="entry name inside the archive")
+    ar_add.add_argument("input", help="file whose bytes (or field) to add")
+    ar_add.add_argument("--codec",
+                        choices=("store", "zlib", "lz77h", "lz77h+zlib"),
+                        default="zlib",
+                        help="per-blob codec for raw entries "
+                             "(default zlib)")
+    ar_add.add_argument("--field", action="store_true",
+                        help="treat INPUT as a float field (.npy or raw "
+                             ".bin with --shape) stored as a SECZ "
+                             "container entry")
+    ar_add.add_argument("--shape", type=_parse_shape, default=None,
+                        help="comma-separated dims for raw .bin input")
+    ar_add.add_argument("--eb", type=float, default=1e-3,
+                        help="error bound for --field entries")
+    ar_add.add_argument("--scheme", choices=sorted(SCHEMES),
+                        default="encr_huffman",
+                        help="protection scheme for --field entries")
+
+    ar_ext = ar_sub.add_parser(
+        "extract", help="reassemble one entry (fails closed on tampering)"
+    )
+    _archive_common(ar_ext)
+    ar_ext.add_argument("name")
+    ar_ext.add_argument("output", help="output file (.npy keeps arrays)")
+
+    ar_list = ar_sub.add_parser("list", help="print the entry table")
+    _archive_common(ar_list, key=False)
+
+    ar_ver = ar_sub.add_parser(
+        "verify",
+        help="audit digests, refcounts and extents; nonzero exit on "
+             "any problem",
+    )
+    _archive_common(ar_ver)
+    ar_ver.add_argument("--deep", action="store_true",
+                        help="also unseal every chunk and re-hash "
+                             "plaintext (needs the key for sealed blobs)")
+
+    ar_gc = ar_sub.add_parser(
+        "gc", help="compact away unreferenced blobs"
+    )
+    _archive_common(ar_gc)
 
     p_l = sub.add_parser(
         "lint",
@@ -411,6 +481,100 @@ def _cmd_nist(args: argparse.Namespace) -> int:
     return 0 if result.all_pass else 1
 
 
+def _cmd_archive(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.archive import ArchiveCorrupt, ArchiveStore
+
+    def open_store(*, must_exist: bool = True) -> ArchiveStore:
+        kwargs = dict(
+            key=_key_from_args(args),
+            cipher_mode=getattr(args, "mode", "cbc"),
+        )
+        if not os.path.exists(args.archive):
+            if must_exist:
+                raise SystemExit(f"no archive at {args.archive}")
+            return ArchiveStore.create(args.archive, **kwargs)
+        try:
+            return ArchiveStore(args.archive, **kwargs)
+        except ArchiveCorrupt as exc:
+            raise SystemExit(f"{args.archive}: {exc}") from None
+
+    verb = args.archive_command
+    if verb == "add":
+        store = open_store(must_exist=False)
+        if args.field:
+            data = _load_input(args.input, args.shape)
+            store.add_field(
+                args.name,
+                np.ascontiguousarray(data, dtype=np.float32)
+                if data.dtype != np.float64 else data,
+                scheme=args.scheme, error_bound=args.eb,
+            )
+        else:
+            with open(args.input, "rb") as fh:
+                store.add_bytes(args.name, fh.read(), codec=args.codec)
+        st = store.stats()
+        print(f"{args.archive}: added {args.name!r}; "
+              f"{st['entries']} entries, {st['blobs']} blobs, "
+              f"dedup x{st['dedup_ratio']:.2f}")
+        return 0
+    if verb == "extract":
+        store = open_store()
+        try:
+            kind = next(
+                row["kind"] for row in store.entries()
+                if row["name"] == args.name
+            )
+        except StopIteration:
+            raise SystemExit(
+                f"no entry {args.name!r}; entries: {store.names()}"
+            ) from None
+        try:
+            if kind == "field":
+                field = store.extract_field(args.name)
+                if args.output.endswith(".npy"):
+                    np.save(args.output, field)
+                else:
+                    save_field(args.output, field)
+            else:
+                blob = store.extract_bytes(args.name)
+                with open(args.output, "wb") as fh:
+                    fh.write(blob)
+        except ArchiveCorrupt as exc:
+            raise SystemExit(f"refusing to extract: {exc}") from None
+        print(f"{args.archive}: extracted {args.name!r} -> {args.output}")
+        return 0
+    if verb == "list":
+        store = ArchiveStore(args.archive)
+        for row in store.entries():
+            print(f"{row['name']:24s} {row['kind']:5s} "
+                  f"scheme={row['scheme']:14s} codec={row['codec']:10s} "
+                  f"{row['raw_size']:>10d} -> {row['stored_size']:>9d} "
+                  f"bytes in {row['n_chunks']} chunks")
+        st = store.stats()
+        print(f"total: {st['raw_bytes']} raw, {st['stored_bytes']} stored "
+              f"(dedup x{st['dedup_ratio']:.2f})")
+        return 0
+    if verb == "verify":
+        store = open_store()
+        problems = store.verify(deep=args.deep)
+        for problem in problems:
+            print(f"FAIL {problem}")
+        if problems:
+            print(f"{args.archive}: {len(problems)} problem(s)")
+            return 1
+        print(f"{args.archive}: ok "
+              f"({'deep' if args.deep else 'structural'} verify)")
+        return 0
+    if verb == "gc":
+        store = open_store()
+        dropped = store.gc()
+        print(f"{args.archive}: dropped {dropped} unreferenced blob(s)")
+        return 0
+    raise SystemExit(f"unknown archive verb {verb!r}")
+
+
 def _cmd_datasets(args: argparse.Namespace) -> int:
     for name, spec in DATASETS.items():
         dims = spec.preset_dims(args.size)
@@ -489,6 +653,7 @@ def main(argv: list[str] | None = None) -> int:
         "lint": _cmd_lint,
         "serve": _cmd_serve,
         "nist": _cmd_nist,
+        "archive": _cmd_archive,
         "datasets": _cmd_datasets,
         "advise": _cmd_advise,
         "img-compress": _cmd_img_compress,

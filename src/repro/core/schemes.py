@@ -107,6 +107,21 @@ class Scheme(abc.ABC):
         ordered = {k: frame_sections[k] for k in SECTION_ORDER}
         return cont.pack_sections(ordered)
 
+    @staticmethod
+    def _take(sections: dict[str, bytes], name: str) -> bytes:
+        """Fetch a section an attacker-controlled container must carry.
+
+        A corrupted section *name* parses fine but leaves the expected
+        key absent; that must surface as the parse-failure ValueError
+        the fuzzing contract promises, not a KeyError.
+        """
+        try:
+            return sections[name]
+        except KeyError:
+            raise ValueError(
+                f"container is missing required section {name!r}"
+            ) from None
+
 
 class NoEncryption(Scheme):
     """Plain SZ — the normalization baseline of every table."""
@@ -125,8 +140,9 @@ class NoEncryption(Scheme):
 
     def unprotect(self, sections, cipher, iv, mode, times):
         tr = trace.tracer_for(times)
-        with tr.stage("lossless", bytes_in=len(sections["zblob"])) as sp:
-            blob = lossless.decompress(sections["zblob"])
+        z = self._take(sections, "zblob")
+        with tr.stage("lossless", bytes_in=len(z)) as sp:
+            blob = lossless.decompress(z)
             sp.bytes_out = len(blob)
         return cont.unpack_sections(blob)
 
@@ -157,9 +173,9 @@ class CmprEncr(Scheme):
     def unprotect(self, sections, cipher, iv, mode, times):
         tr = trace.tracer_for(times)
         cipher = self._check_cipher(cipher)
-        with tr.stage("decrypt", bytes_in=len(sections["cipher"]),
-                      mode=mode) as sp:
-            z = cipher.decrypt(sections["cipher"], iv, mode=mode)
+        ct = self._take(sections, "cipher")
+        with tr.stage("decrypt", bytes_in=len(ct), mode=mode) as sp:
+            z = cipher.decrypt(ct, iv, mode=mode)
             sp.bytes_out = len(z)
         with tr.stage("lossless", bytes_in=len(z)) as sp:
             blob = lossless.decompress(z)
@@ -218,16 +234,19 @@ class EncrQuant(Scheme):
     def unprotect(self, sections, cipher, iv, mode, times):
         tr = trace.tracer_for(times)
         cipher = self._check_cipher(cipher)
-        with tr.stage("lossless", bytes_in=len(sections["zblob"])) as sp:
-            blob = lossless.decompress(sections["zblob"])
+        z = self._take(sections, "zblob")
+        with tr.stage("lossless", bytes_in=len(z)) as sp:
+            blob = lossless.decompress(z)
             sp.bytes_out = len(blob)
         outer = cont.unpack_sections(blob)
-        with tr.stage("decrypt", bytes_in=len(outer["cipher"]),
-                      mode=mode) as sp:
-            quant_blob = cipher.decrypt(outer["cipher"], iv, mode=mode)
+        ct = self._take(outer, "cipher")
+        with tr.stage("decrypt", bytes_in=len(ct), mode=mode) as sp:
+            quant_blob = cipher.decrypt(ct, iv, mode=mode)
             sp.bytes_out = len(quant_blob)
         frame_sections = cont.unpack_sections(quant_blob)
-        frame_sections.update({k: outer[k] for k in self._PLAIN})
+        frame_sections.update(
+            {k: self._take(outer, k) for k in self._PLAIN}
+        )
         return frame_sections
 
     def encrypted_bytes(self, frame_sections):
@@ -287,18 +306,19 @@ class EncrHuffman(Scheme):
     def unprotect(self, sections, cipher, iv, mode, times):
         tr = trace.tracer_for(times)
         cipher = self._check_cipher(cipher)
-        with tr.stage("lossless", bytes_in=len(sections["zblob"])) as sp:
-            blob = lossless.decompress(sections["zblob"])
+        z = self._take(sections, "zblob")
+        with tr.stage("lossless", bytes_in=len(z)) as sp:
+            blob = lossless.decompress(z)
             sp.bytes_out = len(blob)
         outer = cont.unpack_sections(blob)
-        with tr.stage("decrypt", bytes_in=len(outer["cipher"]),
-                      mode=mode) as sp:
-            tree_z = cipher.decrypt(outer["cipher"], iv, mode=mode)
+        ct = self._take(outer, "cipher")
+        with tr.stage("decrypt", bytes_in=len(ct), mode=mode) as sp:
+            tree_z = cipher.decrypt(ct, iv, mode=mode)
             sp.bytes_out = len(tree_z)
         with tr.stage("lossless", bytes_in=len(tree_z)) as sp:
             tree = lossless.decompress(tree_z)
             sp.bytes_out = len(tree)
-        frame_sections = {k: outer[k] for k in self._PLAIN}
+        frame_sections = {k: self._take(outer, k) for k in self._PLAIN}
         frame_sections["tree"] = tree
         return frame_sections
 
@@ -350,15 +370,16 @@ class EncrHuffmanRaw(EncrHuffman):
     def unprotect(self, sections, cipher, iv, mode, times):
         tr = trace.tracer_for(times)
         cipher = self._check_cipher(cipher)
-        with tr.stage("lossless", bytes_in=len(sections["zblob"])) as sp:
-            blob = lossless.decompress(sections["zblob"])
+        z = self._take(sections, "zblob")
+        with tr.stage("lossless", bytes_in=len(z)) as sp:
+            blob = lossless.decompress(z)
             sp.bytes_out = len(blob)
         outer = cont.unpack_sections(blob)
-        with tr.stage("decrypt", bytes_in=len(outer["cipher"]),
-                      mode=mode) as sp:
-            tree = cipher.decrypt(outer["cipher"], iv, mode=mode)
+        ct = self._take(outer, "cipher")
+        with tr.stage("decrypt", bytes_in=len(ct), mode=mode) as sp:
+            tree = cipher.decrypt(ct, iv, mode=mode)
             sp.bytes_out = len(tree)
-        frame_sections = {k: outer[k] for k in self._PLAIN}
+        frame_sections = {k: self._take(outer, k) for k in self._PLAIN}
         frame_sections["tree"] = tree
         return frame_sections
 

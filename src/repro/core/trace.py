@@ -92,6 +92,12 @@ KNOWN_COUNTERS = (
     "aes.blocks_keystream",        # 16-byte CTR keystream blocks generated
     "aes.keystream_segments",      # bounded batched CTR keystream calls
     "aes.keystream_prefetch_ms",   # wall ms the CTR prefetch thread spent generating keystream (rounded up)
+    "lz.literals",                 # literal tokens emitted by the LZ77 matcher
+    "lz.matches",                  # match tokens emitted by the LZ77 matcher
+    "lz.match_bytes",              # bytes covered by LZ77 match tokens
+    "archive.chunks_added",        # content-defined chunks stored as new blobs
+    "archive.chunks_deduped",      # chunks answered by an existing blob (store-once hit)
+    "archive.blobs_gced",          # unreferenced blobs dropped by archive gc
     "zlib.deflate_in_bytes",       # plaintext bytes into zlib.compress
     "zlib.deflate_out_bytes",      # compressed bytes out of zlib.compress
     "zlib.inflate_in_bytes",       # compressed bytes into zlib.decompress

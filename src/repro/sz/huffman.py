@@ -470,6 +470,14 @@ def deserialize_tree(data: bytes) -> HuffmanCode:
         raise ValueError("serialized tree contains duplicate symbols")
     if lengths.min() < 1 or lengths.max() != max_len:
         raise ValueError("serialized tree lengths are inconsistent")
+    # An over-subscribed code (Kraft sum > 1) has no canonical codeword
+    # assignment; building one would overflow the decode tables, so an
+    # attacker-controlled tree must be rejected here, at the parse.
+    kraft = int(
+        (np.int64(1) << (np.int64(max_len) - lengths.astype(np.int64))).sum()
+    )
+    if kraft > 1 << int(max_len):
+        raise ValueError("serialized tree violates the Kraft inequality")
     # The codec cache short-circuits codeword recomputation (and any
     # decoder tables built later) for repeat decodes under one table.
     return codec_from_table(symbols.copy(), lengths.copy()).code

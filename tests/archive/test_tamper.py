@@ -1,0 +1,287 @@
+"""Tamper armor: every injected corruption class must be *detected*.
+
+The threat model gives the attacker the archive file.  For each
+corruption class — bit-flipped blob bytes, truncated entries, dangling
+digests, refcount lies, index and footer damage — these tests assert
+two things:
+
+* ``verify`` reports the damage (and the CLI exits nonzero), and
+* ``extract`` fails closed: a clean exception, never wrong bytes.
+"""
+
+import os
+import struct
+
+import numpy as np
+import pytest
+
+from repro.archive import ArchiveCorrupt, ArchiveStore
+from repro.archive.store import _V2_BLOB, _V2_COUNTS, _V2_FOOT, _V2_HEAD
+from repro.cli import main as cli_main
+
+from tests.fuzz import corpus
+
+KEY = bytes(range(16))
+
+
+def _build(path):
+    store = ArchiveStore.create(path, key=KEY)
+    store.add_bytes("log", corpus.build("text_log"), codec="lz77h")
+    store.add_bytes("noise", corpus.build("random"), codec="zlib")
+    store.add_field(
+        "field",
+        np.linspace(0, 1, 4096, dtype=np.float32).reshape(64, 64),
+        error_bound=1e-3,
+    )
+    return store
+
+
+def _rewrite_index(blob, mutate):
+    """Parse the footer, let ``mutate`` edit the index bytes, reseal
+    with a *consistent* footer hash — modelling an attacker who fixes
+    up the integrity metadata they can compute without the key."""
+    index_off, index_len, _, magic = _V2_FOOT.unpack(blob[-_V2_FOOT.size:])
+    index = bytearray(blob[index_off : index_off + index_len])
+    index = bytes(mutate(index))
+    import hashlib
+
+    foot = _V2_FOOT.pack(index_off, len(index), hashlib.sha256(index).digest(), magic)
+    return blob[:index_off] + index + foot
+
+
+@pytest.fixture
+def archive(tmp_path):
+    path = str(tmp_path / "t.secb")
+    _build(path)
+    with open(path, "rb") as fh:
+        blob = fh.read()
+    return path, blob
+
+
+def _write(path, blob):
+    with open(path, "wb") as fh:
+        fh.write(blob)
+
+
+def _verify_cli(path, *extra):
+    return cli_main(["archive", "verify", path,
+                     "--key-hex", KEY.hex(), *extra])
+
+
+class TestBitFlippedBlobs:
+    def test_every_blob_byte_region_is_covered(self, archive):
+        """Flip one byte inside each stored blob; verify must name it."""
+        path, blob = archive
+        store = ArchiveStore(path, key=KEY)
+        for rec in store._blobs.values():
+            mutated = bytearray(blob)
+            mutated[rec.offset + rec.stored_len // 2] ^= 0x01
+            _write(path, bytes(mutated))
+            fresh = ArchiveStore(path, key=KEY)
+            problems = fresh.verify()
+            assert any("stored bytes corrupt" in p for p in problems)
+            assert _verify_cli(path) == 1
+        _write(path, blob)
+        assert ArchiveStore(path, key=KEY).verify(deep=True) == []
+
+    def test_extract_fails_closed_on_flipped_blob(self, archive):
+        path, blob = archive
+        store = ArchiveStore(path, key=KEY)
+        rec = next(iter(store._blobs.values()))
+        mutated = bytearray(blob)
+        mutated[rec.offset] ^= 0x80
+        _write(path, bytes(mutated))
+        fresh = ArchiveStore(path, key=KEY)
+        for name in fresh.names():
+            try:
+                out = (fresh.extract_bytes(name)
+                       if name != "field" else fresh.extract_field(name))
+            except (ArchiveCorrupt, ValueError):
+                continue
+            # Entries not touching the flipped blob may extract; they
+            # must extract *correctly*.
+            if name == "log":
+                assert out == corpus.build("text_log")
+            elif name == "noise":
+                assert out == corpus.build("noise" and "random")
+
+
+class TestTruncation:
+    def test_truncated_file_rejected_at_open(self, archive):
+        path, blob = archive
+        for cut in (1, 7, _V2_FOOT.size, len(blob) // 2):
+            _write(path, blob[:-cut])
+            with pytest.raises(ArchiveCorrupt):
+                ArchiveStore(path, key=KEY)
+
+    def test_truncated_entry_record_detected(self, archive):
+        """Chop the last entry's digest list out of the index."""
+        path, blob = archive
+
+        def chop(index):
+            return index[:-16]
+
+        _write(path, _rewrite_index(blob, chop))
+        with pytest.raises(ArchiveCorrupt, match="truncated|trailing"):
+            ArchiveStore(path, key=KEY)
+
+    def test_blob_extent_past_data_region(self, archive):
+        """Grow a blob's stored_len so it reads past the data region."""
+        path, blob = archive
+
+        def grow(index):
+            off = _V2_COUNTS.size  # first blob record
+            rec = list(_V2_BLOB.unpack_from(bytes(index), off))
+            rec[3] = rec[3] + 10_000_000
+            index[off : off + _V2_BLOB.size] = _V2_BLOB.pack(*rec)
+            return index
+
+        _write(path, _rewrite_index(blob, grow))
+        with pytest.raises(ArchiveCorrupt, match="extent|outside"):
+            ArchiveStore(path, key=KEY)
+
+
+class TestDanglingDigests:
+    def test_missing_blob_detected(self, archive):
+        """Delete a blob record the entries still reference."""
+        path, blob = archive
+
+        def drop_first_blob(index):
+            n_blobs, n_entries = _V2_COUNTS.unpack_from(bytes(index))
+            head = _V2_COUNTS.pack(n_blobs - 1, n_entries)
+            body = index[_V2_COUNTS.size + _V2_BLOB.size:]
+            return bytearray(head) + body
+
+        _write(path, _rewrite_index(blob, drop_first_blob))
+        store = ArchiveStore(path, key=KEY)
+        problems = store.verify()
+        assert any("dangling chunk digest" in p for p in problems)
+        assert _verify_cli(path) == 1
+        with pytest.raises(ArchiveCorrupt, match="dangling"):
+            for name in store.names():
+                store.extract_bytes(name) if name != "field" \
+                    else store.extract_field(name)
+
+
+class TestRefcountLies:
+    def test_inflated_refcount_detected(self, archive):
+        path, blob = archive
+
+        def inflate(index):
+            off = _V2_COUNTS.size
+            rec = list(_V2_BLOB.unpack_from(bytes(index), off))
+            rec[5] += 41  # refcount
+            index[off : off + _V2_BLOB.size] = _V2_BLOB.pack(*rec)
+            return index
+
+        _write(path, _rewrite_index(blob, inflate))
+        store = ArchiveStore(path, key=KEY)
+        problems = store.verify()
+        assert any("refcount" in p for p in problems)
+        assert _verify_cli(path) == 1
+
+    def test_zeroed_refcount_detected_before_gc_eats_data(self, archive):
+        """A refcount lied down to zero would make gc drop live data;
+        verify must catch the lie first."""
+        path, blob = archive
+
+        def zero(index):
+            off = _V2_COUNTS.size
+            rec = list(_V2_BLOB.unpack_from(bytes(index), off))
+            rec[5] = 0
+            index[off : off + _V2_BLOB.size] = _V2_BLOB.pack(*rec)
+            return index
+
+        _write(path, _rewrite_index(blob, zero))
+        store = ArchiveStore(path, key=KEY)
+        assert any("refcount" in p for p in store.verify())
+
+
+class TestFraming:
+    def test_flipped_index_without_hash_fixup(self, archive):
+        """An index flip the attacker does *not* reseal trips the
+        footer digest at open."""
+        path, blob = archive
+        index_off, _, _, _ = _V2_FOOT.unpack(blob[-_V2_FOOT.size:])
+        mutated = bytearray(blob)
+        mutated[index_off + 3] ^= 0x10
+        _write(path, bytes(mutated))
+        with pytest.raises(ArchiveCorrupt, match="index digest"):
+            ArchiveStore(path, key=KEY)
+
+    def test_bad_magic_and_version(self, archive):
+        path, blob = archive
+        _write(path, b"NOPE" + blob[4:])
+        with pytest.raises(ArchiveCorrupt, match="magic"):
+            ArchiveStore(path, key=KEY)
+        _write(path, _V2_HEAD.pack(b"SEB2", 9, 0, 0) + blob[_V2_HEAD.size:])
+        with pytest.raises(ArchiveCorrupt, match="version"):
+            ArchiveStore(path, key=KEY)
+
+    def test_footer_points_into_header(self, archive):
+        path, blob = archive
+        bad_foot = _V2_FOOT.pack(0, 2, bytes(32), b"SEB2")
+        _write(path, blob[:-_V2_FOOT.size] + bad_foot)
+        with pytest.raises(ArchiveCorrupt):
+            ArchiveStore(path, key=KEY)
+
+
+class TestDeepVerify:
+    def test_deep_verify_catches_plaintext_swap(self, archive):
+        """Swap two same-length sealed blobs *and* their stored hashes:
+        structural verify passes the bytes, deep verify (with the key)
+        catches the plaintext digest mismatch."""
+        path, blob = archive
+        store = ArchiveStore(path, key=KEY)
+        recs = sorted(store._blobs.values(), key=lambda r: r.offset)
+        pair = None
+        for i, a in enumerate(recs):
+            for b in recs[i + 1:]:
+                if a.stored_len == b.stored_len:
+                    pair = (a, b)
+                    break
+            if pair:
+                break
+        if pair is None:
+            pytest.skip("fixture produced no same-length blob pair")
+        a, b = pair
+        mutated = bytearray(blob)
+        mutated[a.offset : a.offset + a.stored_len] = (
+            blob[b.offset : b.offset + b.stored_len]
+        )
+
+        def swap_hash(index):
+            out = bytearray(index)
+            off = _V2_COUNTS.size
+            n_blobs, _ = _V2_COUNTS.unpack_from(bytes(index))
+            for _ in range(n_blobs):
+                rec = list(_V2_BLOB.unpack_from(bytes(index), off))
+                if rec[2] == a.offset:
+                    rec[1] = b.stored_sha
+                    out[off : off + _V2_BLOB.size] = _V2_BLOB.pack(*rec)
+                off += _V2_BLOB.size
+            return out
+
+        _write(path, _rewrite_index(bytes(mutated), swap_hash))
+        fresh = ArchiveStore(path, key=KEY)
+        structural = fresh.verify()
+        assert not any("stored bytes corrupt" in p for p in structural)
+        deep = fresh.verify(deep=True)
+        assert deep, "deep verify must catch the plaintext swap"
+        assert _verify_cli(path, "--deep") == 1
+
+
+def test_verify_cli_ok_exit_zero(tmp_path):
+    path = str(tmp_path / "ok.secb")
+    _build(path)
+    assert _verify_cli(path, "--deep") == 0
+
+
+def test_struct_sizes_frozen():
+    """The wire layout is normative (FORMAT.md §10.2); a size change
+    here is a format break."""
+    assert _V2_HEAD.size == 8
+    assert _V2_COUNTS.size == 8
+    assert _V2_BLOB.size == 110
+    assert _V2_FOOT.size == 52
+    assert struct.calcsize("<BBBdQ32sI") == 55

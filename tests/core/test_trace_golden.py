@@ -34,9 +34,18 @@ from repro.sz import huffman
 FIXTURE_DIR = Path(__file__).resolve().parent.parent / "data" / "traces"
 KEY = bytes(range(16))
 
+#: Field schemes exercised through the SECB v2 archive; each pins the
+#: archive bookkeeping counters plus that scheme's pipeline spans.
+ARCHIVE_SCHEMES = ("cmpr_encr", "encr_huffman", "encr_quant")
+
 #: Golden variants: every scheme under the default CBC mode, plus the
-#: CTR fast path on the scheme that exercises keystream prefetch most.
-VARIANTS = sorted(SCHEMES) + ["cmpr_encr@ctr"]
+#: CTR fast path on the scheme that exercises keystream prefetch most,
+#: plus one archive life-cycle run per supported field scheme.
+VARIANTS = (
+    sorted(SCHEMES)
+    + ["cmpr_encr@ctr"]
+    + [f"archive@{s}" for s in ARCHIVE_SCHEMES]
+)
 
 
 def _clear_codec_cache() -> None:
@@ -46,8 +55,55 @@ def _clear_codec_cache() -> None:
     huffman.codec_cache_clear()
 
 
+def _run_archive(scheme: str) -> dict:
+    """Archive life cycle (add + dedup + extract + gc), traced.
+
+    The counters in a Tracer export are process-wide deltas since the
+    tracer was created, so the ``archive.*`` and ``lz.*`` bookkeeping
+    lands in the fixture alongside the field scheme's pipeline spans.
+    """
+    import os
+    import tempfile
+
+    from repro.archive import ArchiveStore
+
+    _clear_codec_cache()
+    rng = np.random.default_rng(42)
+    field = np.cumsum(
+        rng.standard_normal((24, 24)), axis=1
+    ).astype(np.float32)
+    log = b"".join(b"step %06d ok\n" % i for i in range(600))
+    noise = rng.integers(0, 256, 6000, dtype=np.uint8).tobytes()
+    tr = trace.Tracer()
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "golden.secb")
+        store = ArchiveStore.create(
+            path,
+            key=KEY,
+            random_state=np.random.default_rng(0),
+            chunk_bits=9,
+            min_chunk=128,
+            max_chunk=2048,
+        )
+        store.add_bytes("log", log, codec="lz77h")
+        store.add_bytes("log-copy", log, codec="lz77h")  # chunks_deduped
+        store.add_bytes("noise", noise, codec="zlib")
+        store.add_field(
+            "field", field, scheme=scheme, error_bound=1e-3, tracer=tr
+        )
+        assert store.extract_bytes("log-copy") == log
+        np.testing.assert_allclose(
+            store.extract_field("field"), field, atol=1e-3
+        )
+        store.remove("noise")
+        assert store.gc() > 0  # blobs_gced
+    return trace.validate(tr.export())
+
+
 def _run_scheme(variant: str) -> dict:
     """Deterministic tiny compress + decompress, traced."""
+    if variant.startswith("archive@"):
+        return _run_archive(variant.partition("@")[2])
     _clear_codec_cache()
     scheme, _, mode = variant.partition("@")
     mode = mode or "cbc"

@@ -1,0 +1,106 @@
+"""Regenerate the SECB v2 golden fixture (archive.secb + manifest).
+
+Run from the repo root::
+
+    PYTHONPATH=src python tests/data/secb_v2/make_fixture.py
+
+Everything is seeded (CBC IVs included), so the archive bytes are
+reproducible; the manifest pins the archive digest, the plaintext
+digests of every entry, and the dedup bookkeeping the tests assert.
+"""
+
+import hashlib
+import json
+import os
+
+import numpy as np
+
+from repro.archive import ArchiveStore
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+KEY = bytes(range(16))
+
+
+def payloads():
+    log = b"".join(
+        b"2026-08-08T12:%02d:%02d INFO worker-%d step=%d loss=%.4f\n"
+        % (i // 60 % 60, i % 60, i % 8, i, 1.0 / (i + 1))
+        for i in range(400)
+    )
+    shard = np.random.default_rng(99).integers(
+        0, 256, 20_000, dtype=np.uint8
+    ).tobytes()
+    field = (
+        np.sin(np.linspace(0, 6.0, 2048, dtype=np.float32))
+        .reshape(32, 64)
+        .astype(np.float32)
+    )
+    return log, shard, field
+
+
+def build(path):
+    log, shard, field = payloads()
+    store = ArchiveStore.create(
+        path,
+        key=KEY,
+        cipher_mode="cbc",
+        random_state=np.random.default_rng(42),
+        chunk_bits=10,
+        min_chunk=256,
+        max_chunk=4096,
+    )
+    store.add_bytes("run.log", log, codec="lz77h")
+    store.add_bytes("shard-0", shard, codec="zlib")
+    store.add_bytes("shard-1", shard, codec="zlib")  # store-once dedup
+    store.add_field("temperature", field, scheme="encr_huffman",
+                    error_bound=1e-3)
+    return store, log, shard, field
+
+
+def main():
+    path = os.path.join(HERE, "archive.secb")
+    if os.path.exists(path):
+        os.remove(path)
+    store, log, shard, field = build(path)
+    with open(path, "rb") as fh:
+        blob = fh.read()
+    manifest = {
+        "archive_sha256": hashlib.sha256(blob).hexdigest(),
+        "key_hex": KEY.hex(),
+        "cipher_mode": "cbc",
+        "chunk_params": {"chunk_bits": 10, "min_chunk": 256,
+                         "max_chunk": 4096},
+        "stats": store.stats(),
+        "entries": {
+            "run.log": {
+                "kind": "raw", "codec": "lz77h",
+                "sha256": hashlib.sha256(log).hexdigest(),
+            },
+            "shard-0": {
+                "kind": "raw", "codec": "zlib",
+                "sha256": hashlib.sha256(shard).hexdigest(),
+            },
+            "shard-1": {
+                "kind": "raw", "codec": "zlib",
+                "sha256": hashlib.sha256(shard).hexdigest(),
+            },
+            "temperature": {
+                "kind": "field", "scheme": "encr_huffman",
+                "error_bound": 1e-3,
+                "shape": list(field.shape),
+                "dtype": str(field.dtype),
+                "decoded_sha256": hashlib.sha256(
+                    store.extract_field("temperature").tobytes()
+                ).hexdigest(),
+            },
+        },
+    }
+    with open(os.path.join(HERE, "manifest.json"), "w") as fh:
+        json.dump(manifest, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {path} ({len(blob)} bytes)")
+    print(f"archive_sha256 = {manifest['archive_sha256']}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+"""Shared corpus builders for the fuzz and differential suites.
+
+One seeded builder per payload *shape* the codecs care about: runs,
+periodic repetition, structured text, low-entropy symbol soup, and
+incompressible noise.  The LZ77 differential suite, the fuzz targets
+and the archive tests all draw from the same corpus so a payload class
+that breaks one codec is immediately thrown at the others.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["CORPUS", "build", "names"]
+
+
+def _zeros(n: int = 50_000) -> bytes:
+    return b"\x00" * n
+
+
+def _runs(n: int = 60_000) -> bytes:
+    rng = np.random.default_rng(11)
+    parts = []
+    total = 0
+    while total < n:
+        run = int(rng.integers(1, 400))
+        parts.append(bytes([int(rng.integers(0, 256))]) * run)
+        total += run
+    return b"".join(parts)[:n]
+
+
+def _periodic(n: int = 64_000) -> bytes:
+    return (b"checkpoint-shard " * (n // 17 + 1))[:n]
+
+
+def _text_log(n_lines: int = 1500) -> bytes:
+    return b"".join(
+        b"2026-08-08T12:%02d:%02d INFO worker-%d step=%d loss=%.4f\n"
+        % (i // 60 % 60, i % 60, i % 8, i, 1.0 / (i + 1))
+        for i in range(n_lines)
+    )
+
+
+def _low_entropy(n: int = 50_000) -> bytes:
+    rng = np.random.default_rng(23)
+    return bytes(rng.integers(0, 4, n, dtype=np.uint8) + 97)
+
+
+def _random(n: int = 40_000) -> bytes:
+    rng = np.random.default_rng(37)
+    return rng.integers(0, 256, n, dtype=np.uint8).tobytes()
+
+
+def _float_field(side: int = 24) -> bytes:
+    x = np.linspace(0.0, 4.0, side)
+    gx, gy, gz = np.meshgrid(x, x, x, indexing="ij")
+    field = (np.sin(gx) * np.cos(gy) + 0.1 * gz).astype(np.float32)
+    return field.tobytes()
+
+
+def _tiny(n: int = 40) -> bytes:
+    return bytes(range(n))
+
+
+CORPUS = {
+    "zeros": _zeros,
+    "runs": _runs,
+    "periodic": _periodic,
+    "text_log": _text_log,
+    "low_entropy": _low_entropy,
+    "random": _random,
+    "float_field": _float_field,
+    "tiny": _tiny,
+    "empty": lambda: b"",
+}
+
+
+def names() -> list[str]:
+    """Corpus entry names, stable order for parametrize."""
+    return sorted(CORPUS)
+
+
+def build(name: str) -> bytes:
+    """Materialize one corpus payload (deterministic per name)."""
+    return CORPUS[name]()

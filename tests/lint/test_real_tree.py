@@ -44,9 +44,12 @@ def test_documented_spans_cover_fixture_spans():
 def test_documented_formats_parsed():
     repo = lint.RepoContext(REPO)
     assert {"4sBBBB16sB", "BQ", "4sBBBBBBIdqQQ", "IB", "4sHII", "4sI",
-            "QB", "B", "H", "Q", "4sBBH8sI", "BBBBdB"} <= repo.documented_structs
+            "QB", "B", "H", "Q", "4sBBH8sI", "BBBBdB",
+            "4sBBH", "II", "32s32sQQQIBB16s", "BBBdQ32sI", "QQ32s4s",
+            "4sBBIIQQQQQQ"} <= repo.documented_structs
     assert repo.documented_magics == {
-        "SECZ", "SECA", "SECB", "SECM", "SECP", "SZfr", "HLT1"
+        "SECZ", "SECA", "SECB", "SECM", "SECP", "SZfr", "HLT1",
+        "SEB2", "LZ7H",
     }
 
 

@@ -39,7 +39,14 @@ class TestSigtermPersistence:
     def test_sigterm_persists_queue_and_second_serve_resumes(self, tmp_path):
         """The acceptance path: kill an ingest-only daemon holding
         queued jobs, then drain them with a second daemon on the same
-        store."""
+        store.
+
+        This is the suite's slowest test; the ~1 s is the real
+        ``python -m repro.cli serve`` subprocess (interpreter + numpy
+        import), which is the point — SIGTERM semantics need a real
+        process.  Every wait in here is a bounded poll or a join with
+        timeout, never a fixed sleep.
+        """
         sock = str(tmp_path / "secz.sock")
         store = str(tmp_path / "jobs.sqlite")
         env = dict(os.environ, PYTHONPATH=SRC)

@@ -132,6 +132,22 @@ _SECZ_INVOCATION = re.compile(r"^\s*secz\s+([a-z-]+)\s+(.*)$")
 _FLAG = re.compile(r"(--[a-z][a-z0-9-]*)")
 
 
+def _collect_parser_flags(prefix, parser, flags):
+    """Walk ``parser`` (and any nested subparsers, e.g. ``secz archive
+    add``) into ``{command words: set of option strings}``."""
+    if prefix:
+        flags[prefix] = {
+            opt for action in parser._actions
+            for opt in action.option_strings
+        }
+    for action in parser._actions:
+        if action.__class__.__name__ == "_SubParsersAction":
+            for name, sub in action.choices.items():
+                _collect_parser_flags(
+                    f"{prefix} {name}".strip(), sub, flags
+                )
+
+
 def _parser_flags():
     """{subcommand: set of option strings} from the real parser."""
     sys.path.insert(0, os.path.join(REPO, "src"))
@@ -139,16 +155,8 @@ def _parser_flags():
         from repro.cli import build_parser
     finally:
         sys.path.pop(0)
-    parser = build_parser()
-    subparsers = next(
-        a for a in parser._actions
-        if a.__class__.__name__ == "_SubParsersAction"
-    )
     flags = {}
-    for name, sub in subparsers.choices.items():
-        flags[name] = {
-            opt for action in sub._actions for opt in action.option_strings
-        }
+    _collect_parser_flags("", build_parser(), flags)
     return flags
 
 
@@ -174,14 +182,26 @@ def collect_documented_invocations():
                 i += 1
             # Strip inline comments so `# --flag in prose` is not parsed.
             rest = rest.split("#", 1)[0]
-            found.append((doc, command, frozenset(_FLAG.findall(rest))))
+            # Nested subcommands ("secz archive add ...") document the
+            # verb as the first bare word after the command; whether it
+            # really is a verb is resolved against the parser later.
+            words = rest.split()
+            subword = (
+                words[0]
+                if words and re.fullmatch(r"[a-z][a-z-]*", words[0])
+                else None
+            )
+            found.append((doc, command, subword,
+                          frozenset(_FLAG.findall(rest))))
     return found
 
 
 def test_documented_secz_flags_exist_in_parser():
     parser_flags = _parser_flags()
     problems = []
-    for doc, command, flags in collect_documented_invocations():
+    for doc, command, subword, flags in collect_documented_invocations():
+        if subword and f"{command} {subword}" in parser_flags:
+            command = f"{command} {subword}"
         if command not in parser_flags:
             problems.append(f"{doc}: unknown subcommand 'secz {command}'")
             continue
@@ -197,4 +217,12 @@ def test_docs_actually_document_secz_invocations():
     """The drift check must not pass vacuously."""
     invocations = collect_documented_invocations()
     assert len(invocations) >= 5
-    assert any(flags for _, _, flags in invocations)
+    assert any(flags for _, _, _, flags in invocations)
+
+
+def test_flag_audit_sees_nested_archive_verbs():
+    """The walker must cover ``secz archive <verb>`` subparsers."""
+    parser_flags = _parser_flags()
+    assert "archive add" in parser_flags
+    assert "--codec" in parser_flags["archive add"]
+    assert "--deep" in parser_flags["archive verify"]

@@ -281,6 +281,168 @@ def test_secb_fixture():
         assert digest == meta["decoded_sha256"]
 
 
+V2_HEAD = struct.Struct("<4sBBH")
+V2_COUNTS = struct.Struct("<II")
+V2_BLOB = struct.Struct("<32s32sQQQIBB16s")
+V2_ENTRY = struct.Struct("<BBBdQ32sI")
+V2_FOOT = struct.Struct("<QQ32s4s")
+LZ_HEADER = struct.Struct("<4sBBIIQQQQQQ")
+
+
+def parse_secb_v2(blob):
+    """Walk a SECB v2 archive exactly as FORMAT.md §10.2 documents —
+    struct/hashlib only, no repro parsing code."""
+    import hashlib
+
+    magic, version, flags, reserved = V2_HEAD.unpack_from(blob)
+    assert magic == b"SEB2"
+    assert version == 2
+    assert flags == reserved == 0
+    index_off, index_len, index_sha, foot_magic = V2_FOOT.unpack(
+        blob[-V2_FOOT.size:]
+    )
+    assert foot_magic == b"SEB2"
+    assert index_off + index_len + V2_FOOT.size == len(blob)
+    index = blob[index_off:index_off + index_len]
+    assert hashlib.sha256(index).digest() == index_sha
+
+    n_blobs, n_entries = V2_COUNTS.unpack_from(index)
+    off = V2_COUNTS.size
+    blobs = {}
+    for _ in range(n_blobs):
+        rec = V2_BLOB.unpack_from(index, off)
+        off += V2_BLOB.size
+        (raw_sha, stored_sha, b_off, stored_len, raw_len,
+         refcount, codec, enc, iv) = rec
+        # Stored bytes hash to the recorded digest — keyless audit.
+        stored = blob[b_off:b_off + stored_len]
+        assert hashlib.sha256(stored).digest() == stored_sha
+        assert codec in (0, 1, 2, 3) and enc in (0, 1, 2)
+        blobs[raw_sha] = {"refcount": refcount, "raw_len": raw_len}
+    entries = {}
+    for _ in range(n_entries):
+        (name_len,) = struct.unpack_from("<H", index, off)
+        off += 2
+        name = index[off:off + name_len].decode("utf-8")
+        off += name_len
+        (kind, scheme_id, codec, eb, raw_size, content_sha,
+         n_chunks) = V2_ENTRY.unpack_from(index, off)
+        off += V2_ENTRY.size
+        digests = [index[off + i * 32:off + (i + 1) * 32]
+                   for i in range(n_chunks)]
+        off += 32 * n_chunks
+        assert kind in (0, 1)
+        assert scheme_id in SCHEME_IDS.values()
+        entries[name] = {"kind": kind, "raw_size": raw_size,
+                         "digests": digests, "content_sha": content_sha}
+    assert off == len(index), "index must account for every byte"
+    for name, ent in entries.items():
+        for digest in ent["digests"]:
+            assert digest in blobs, f"{name}: dangling digest"
+        assert sum(blobs[d]["raw_len"] for d in ent["digests"]) == \
+            ent["raw_size"]
+    refs = {}
+    for ent in entries.values():
+        for digest in ent["digests"]:
+            refs[digest] = refs.get(digest, 0) + 1
+    for digest, meta in blobs.items():
+        assert meta["refcount"] == refs.get(digest, 0)
+    return blobs, entries
+
+
+def test_fresh_secb_v2_archive_matches_spec(tmp_path):
+    """Write a v2 archive with the real store and re-parse it §10.2
+    byte-by-byte, including the store-once dedup it promises."""
+    from repro.archive import ArchiveStore
+
+    path = str(tmp_path / "fresh.secb")
+    store = ArchiveStore.create(path, key=bytes(range(16)))
+    # Unique (non-periodic) content: every chunk is distinct, so the
+    # only dedup comes from the duplicated entry — refcounts pin at 2.
+    shard = np.random.default_rng(5).integers(
+        0, 256, 76_800, dtype=np.uint8
+    ).tobytes()
+    store.add_bytes("a", shard, codec="lz77h")
+    store.add_bytes("b", shard, codec="lz77h")  # dedup: same blobs
+    with open(path, "rb") as fh:
+        blob = fh.read()
+    blobs, entries = parse_secb_v2(blob)
+    assert set(entries) == {"a", "b"}
+    assert entries["a"]["digests"] == entries["b"]["digests"]
+    assert all(meta["refcount"] == 2 for meta in blobs.values())
+
+
+def test_secb_v2_fixture():
+    """§10.2: re-parse the checked-in SECB v2 archive with struct and
+    hashlib only, then agree with the real reader on every entry."""
+    import hashlib
+
+    from repro.archive import ArchiveStore
+
+    v2_dir = os.path.join(HERE, "data", "secb_v2")
+    with open(os.path.join(v2_dir, "manifest.json")) as fh:
+        manifest = json.load(fh)
+    with open(os.path.join(v2_dir, "archive.secb"), "rb") as fh:
+        blob = fh.read()
+    assert hashlib.sha256(blob).hexdigest() == manifest["archive_sha256"]
+
+    blobs, entries = parse_secb_v2(blob)
+    assert set(entries) == set(manifest["entries"])
+    # Store-once dedup: the duplicated shard shares every chunk digest,
+    # so those blobs carry refcount 2.
+    assert entries["shard-0"]["digests"] == entries["shard-1"]["digests"]
+    for digest in entries["shard-0"]["digests"]:
+        assert blobs[digest]["refcount"] == 2
+    stats = manifest["stats"]
+    assert len(blobs) == stats["blobs"]
+    assert sum(e["raw_size"] for e in entries.values()) == \
+        stats["raw_bytes"]
+
+    # The real reader reproduces the pinned plaintext digests.
+    store = ArchiveStore(
+        os.path.join(v2_dir, "archive.secb"),
+        key=bytes.fromhex(manifest["key_hex"]),
+        cipher_mode=manifest["cipher_mode"],
+    )
+    assert store.verify(deep=True) == []
+    for name, meta in manifest["entries"].items():
+        if meta["kind"] == "field":
+            out = store.extract_field(name)
+            assert list(out.shape) == meta["shape"]
+            assert str(out.dtype) == meta["dtype"]
+            digest = hashlib.sha256(out.tobytes()).hexdigest()
+            assert digest == meta["decoded_sha256"]
+        else:
+            digest = hashlib.sha256(store.extract_bytes(name)).hexdigest()
+            assert digest == meta["sha256"]
+
+
+def test_fresh_lz7h_frame_matches_spec():
+    """Parse an LZ7H frame header (§11) with struct only and check the
+    documented cross-invariants."""
+    from repro.sz import lz77
+
+    data = b"the quick brown fox jumps over the lazy dog " * 200
+    blob = lz77.compress(data)
+    (magic, version, reserved, tok_tree_len, dst_tree_len, raw_len,
+     n_tokens, n_matches, tok_bits, dst_bits, extra_bits) = (
+        LZ_HEADER.unpack_from(blob)
+    )
+    assert magic == b"LZ7H"
+    assert version == 1 and reserved == 0
+    assert raw_len == len(data)
+    assert n_matches <= n_tokens
+    # Frame length is fully determined by the header (§11).
+    expected = (LZ_HEADER.size + tok_tree_len + dst_tree_len
+                + (tok_bits + 7) // 8 + (dst_bits + 7) // 8
+                + (extra_bits + 7) // 8)
+    assert len(blob) == expected
+    # Both trees start with the bare tree header (§4).
+    n_sym, max_len = TREE_HEADER.unpack_from(blob, LZ_HEADER.size)
+    assert n_sym >= 1 and 1 <= max_len <= 24
+    assert lz77.decompress(blob) == data
+
+
 def test_format_md_documents_the_live_constants():
     """The spec must quote the real struct strings, magics and ids."""
     with open(FORMAT_MD) as fh:
@@ -291,8 +453,14 @@ def test_format_md_documents_the_live_constants():
         "<4sHII",         # lane header
         "<IB",            # bare tree header
         "<BQ",            # section entry / byteplane header
-        "<4sI",           # SECB archive header
-        "SECZ", "SECA", "SECM", "SECB", "SZfr", "HLT1",
+        "<4sI",           # SECB v1 archive header
+        "<4sBBH",         # SECB v2 header
+        "<II",            # SECB v2 index counts
+        "<32s32sQQQIBB16s",  # SECB v2 blob record
+        "<BBBdQ32sI",     # SECB v2 entry record
+        "<QQ32s4s",       # SECB v2 footer
+        "<4sBBIIQQQQQQ",  # LZ7H frame header
+        "SECZ", "SECA", "SECM", "SECB", "SEB2", "SZfr", "HLT1", "LZ7H",
         "repro.secz/mac-key/v1",
     ):
         assert needle in text, f"FORMAT.md no longer documents {needle!r}"

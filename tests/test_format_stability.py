@@ -48,6 +48,8 @@ GOLDEN = {
     "v3:meta": "3a45d6e5c3b5a5cb82cb244daf030c063259a5b7ca76d8a5270197b7f8475aa4",
     "v3:tree": "1be46aa4a75c5c07510b621264d2c7dfedb1b4b63f9337676730c84c6fd33402",
     "v3:codes": "9ff07a6197a887e878962acf82742d47b8fbeb3e9374e42a5afb36b96aa5967a",
+    "lz7h": "a1a2509ea3581a49186f7697ad4ecd2ee8f6f5edd700ce571d64065177415234",
+    "secb_v2": "decf63e6ac38933918d07f55259f3f39b01a300f078bdcb8ccc2ff284add7ffb",
 }
 
 V1_DIR = os.path.join(os.path.dirname(__file__), "data", "v1_containers")
@@ -106,6 +108,45 @@ def test_old_golden_container_still_decodes(reference_data):
     err = np.max(np.abs(out.astype(np.float64)
                         - reference_data.astype(np.float64)))
     assert err <= 1e-4
+
+
+def test_lz7h_frame_digest_stable():
+    """The LZ7H frame writer is fully deterministic; pin its bytes so
+    matcher or entropy-coder drift cannot silently change the format."""
+    from repro.sz import lz77
+
+    data = b"".join(b"shard %04d: loss=%.3f\n" % (i, 1.0 / (i + 1))
+                    for i in range(1500))
+    blob = lz77.compress(data)
+    assert lz77.decompress(blob) == data
+    assert hashlib.sha256(blob).hexdigest() == GOLDEN["lz7h"], (
+        "LZ7H frame bytes changed — wire-format regression, or a "
+        "deliberate format change that needs a version bump (§11)"
+    )
+
+
+def test_secb_v2_archive_digest_stable(tmp_path, reference_data):
+    """A fully-seeded SECB v2 archive build (CBC IVs included) must
+    reproduce byte-identically; archive frame drift fails here."""
+    from repro.archive import ArchiveStore
+
+    path = str(tmp_path / "golden.secb")
+    store = ArchiveStore.create(
+        path, key=KEY, cipher_mode="cbc",
+        random_state=np.random.default_rng(42),
+        chunk_bits=10, min_chunk=256, max_chunk=4096,
+    )
+    log = b"".join(b"step %06d ok\n" % i for i in range(900))
+    store.add_bytes("log", log, codec="lz77h")
+    store.add_bytes("log-copy", log, codec="lz77h")
+    store.add_field("q2", reference_data, scheme="encr_huffman",
+                    error_bound=1e-4)
+    with open(path, "rb") as fh:
+        blob = fh.read()
+    assert hashlib.sha256(blob).hexdigest() == GOLDEN["secb_v2"], (
+        "SECB v2 archive bytes changed — wire-format regression, or a "
+        "deliberate format change that needs a version bump (§10.2)"
+    )
 
 
 # ----------------------------------------------------------------------
