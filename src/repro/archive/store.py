@@ -272,7 +272,12 @@ class ArchiveStore:
         entries: dict[str, _Entry] = {}
         for _ in range(n_entries):
             (name_len,) = _V2_NAME.unpack(take(_V2_NAME.size, "entry name"))
-            name = take(name_len, "entry name").decode("utf-8")
+            try:
+                name = take(name_len, "entry name").decode("utf-8")
+            except UnicodeDecodeError as exc:
+                raise ArchiveCorrupt(
+                    f"entry name is not valid UTF-8: {exc}"
+                ) from exc
             kind, scheme_id, codec, eb, raw_size, content_sha, n_chunks = (
                 _V2_ENTRY.unpack(take(_V2_ENTRY.size, "entry record"))
             )

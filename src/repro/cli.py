@@ -12,7 +12,9 @@ Subcommands::
     secz archive list    ARCHIVE
     secz archive verify  ARCHIVE [--deep]
     secz archive gc      ARCHIVE
-    secz lint           [PATH ...] [--format text|json] [--disable RULE]
+    secz lint           [PATH ...] [--format text|json|sarif] [--disable RULE]
+                        [--baseline FILE | --no-baseline] [--write-baseline]
+                        [--profile]
     secz serve          --socket /run/secz.sock --store jobs.sqlite
     secz datasets
     secz advise         INPUT [--shape Z,Y,X] --eb 1e-3 [--randomness]
@@ -218,8 +220,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_l.add_argument("paths", nargs="*", default=["src"],
                      help="files or directories to lint (default: src)")
-    p_l.add_argument("--format", choices=("text", "json"), default="text",
-                     dest="output_format",
+    p_l.add_argument("--format", choices=("text", "json", "sarif"),
+                     default="text", dest="output_format",
                      help="report format (default text)")
     p_l.add_argument("--enable", action="append", metavar="RULE", default=None,
                      help="run only these rules (repeatable)")
@@ -227,6 +229,16 @@ def build_parser() -> argparse.ArgumentParser:
                      help="skip these rules (repeatable)")
     p_l.add_argument("--root", default=None,
                      help="repo root holding docs/ (default: auto-detect)")
+    p_l.add_argument("--baseline", metavar="FILE", default=None,
+                     help="baseline file of triaged findings (default: "
+                          ".lint-baseline.json at the repo root, if present)")
+    p_l.add_argument("--no-baseline", action="store_true",
+                     help="ignore any baseline file")
+    p_l.add_argument("--write-baseline", action="store_true",
+                     help="write the current findings to the baseline "
+                          "file and exit 0 (triage helper)")
+    p_l.add_argument("--profile", action="store_true",
+                     help="print per-rule wall-clock timings to stderr")
     p_l.add_argument("--list-rules", action="store_true",
                      help="list the shipped rules and exit")
 
@@ -423,19 +435,41 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         for cls in lint.ALL_RULES:
             print(f"{cls.name:18s} {cls.description}")
         return 0
+    if args.no_baseline and args.baseline:
+        raise SystemExit("--baseline and --no-baseline are exclusive")
+    baseline: Path | str | None = "auto"
+    if args.no_baseline or args.write_baseline:
+        baseline = None
+    elif args.baseline:
+        baseline = Path(args.baseline)
     try:
         report = lint.lint_paths(
             [Path(p) for p in args.paths],
             root=Path(args.root) if args.root else None,
             enable=args.enable,
             disable=args.disable,
+            baseline=baseline,
         )
     except ValueError as exc:
         raise SystemExit(str(exc)) from None
+    if args.write_baseline:
+        root = Path(args.root) if args.root else lint.find_repo_root(
+            Path(args.paths[0])
+        )
+        target = Path(args.baseline) if args.baseline else (
+            root / lint.BASELINE_FILENAME
+        )
+        lint.write_baseline(target, report.findings)
+        print(f"wrote {len(report.findings)} finding(s) to {target}")
+        return 0
     if args.output_format == "json":
         print(report.format_json())
+    elif args.output_format == "sarif":
+        print(lint.format_sarif(report))
     else:
         print(report.format_text())
+    if args.profile:
+        print(report.format_profile(), file=sys.stderr)
     return report.exit_code
 
 

@@ -1,0 +1,138 @@
+"""Baseline suppression: triage pre-existing findings without silence.
+
+A new interprocedural rule landing on a mature tree inevitably flags
+code that predates it.  Rather than weakening the rule or spraying
+pragmas, the engine ships a ``.lint-baseline.json`` at the repo root:
+every entry names one known finding (rule, path, message — line
+numbers are deliberately excluded so unrelated edits don't churn the
+file), the runner subtracts matching findings from the report, and —
+crucially — a baseline entry that no longer matches anything becomes
+a ``stale-baseline`` finding itself, so fixed code pays down the file
+instead of accreting dead suppressions.
+
+File format::
+
+    {
+      "schema": "repro-lint-baseline/1",
+      "findings": [
+        {"rule": "exception-contract", "path": "src/...", "message": "..."}
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.lint.walker import Finding, LintReport
+
+__all__ = [
+    "BASELINE_SCHEMA",
+    "BASELINE_FILENAME",
+    "load_baseline",
+    "apply_baseline",
+    "write_baseline",
+]
+
+BASELINE_SCHEMA = "repro-lint-baseline/1"
+BASELINE_FILENAME = ".lint-baseline.json"
+
+#: One baseline entry: (rule, path, message).
+Entry = tuple[str, str, str]
+
+
+def load_baseline(path: Path) -> list[Entry]:
+    """Parse a baseline file into match entries.
+
+    Raises ``ValueError`` on schema mismatch or malformed entries so a
+    corrupted baseline fails the run instead of silently suppressing
+    nothing (or everything).
+    """
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"baseline {path} is not valid JSON: {exc}") from exc
+    if not isinstance(doc, dict) or doc.get("schema") != BASELINE_SCHEMA:
+        raise ValueError(
+            f"baseline {path} schema is {doc.get('schema')!r}, "
+            f"expected {BASELINE_SCHEMA!r}"
+        )
+    entries: list[Entry] = []
+    for index, item in enumerate(doc.get("findings", [])):
+        if not isinstance(item, dict) or not all(
+            isinstance(item.get(field), str)
+            for field in ("rule", "path", "message")
+        ):
+            raise ValueError(
+                f"baseline {path} entry {index} must have string "
+                "rule/path/message fields"
+            )
+        entries.append((item["rule"], item["path"], item["message"]))
+    return entries
+
+
+def apply_baseline(
+    report: LintReport,
+    entries: list[Entry],
+    *,
+    scanned: set[str] | None = None,
+) -> LintReport:
+    """Subtract baselined findings; flag entries that match nothing.
+
+    Matching ignores line numbers (they churn with unrelated edits).
+    An entry may match several findings (the same escape reported via
+    two entry points); all of them are suppressed by the one entry.
+
+    ``scanned`` is the set of relpaths this run actually analysed;
+    entries pointing at unscanned files are neither matched nor stale
+    (a partial-tree run can't judge them).  ``None`` means everything
+    was scanned (full-tree semantics).
+    """
+    entry_set = set(entries)
+    kept: list[Finding] = []
+    matched: set[Entry] = set()
+    suppressed = 0
+    for finding in report.findings:
+        key = (finding.rule, finding.path, finding.message)
+        if key in entry_set:
+            matched.add(key)
+            suppressed += 1
+        else:
+            kept.append(finding)
+    for rule, path, message in entries:
+        if (rule, path, message) in matched:
+            continue
+        if scanned is not None and path not in scanned:
+            continue
+        kept.append(Finding(
+            path=path, line=0, rule="stale-baseline",
+            message=(
+                f"baseline entry for rule {rule!r} no longer matches "
+                f"any finding (was: {message!r}); remove it from "
+                f"{BASELINE_FILENAME}"
+            ),
+        ))
+    return LintReport(
+        findings=sorted(kept),
+        files_checked=report.files_checked,
+        rules_run=list(report.rules_run),
+        profile=dict(report.profile),
+        baseline_suppressed=suppressed,
+    )
+
+
+def write_baseline(path: Path, findings: list[Finding]) -> None:
+    """Serialise ``findings`` as a fresh baseline (used by
+    ``secz lint --write-baseline`` when triaging a new rule)."""
+    entries = sorted(
+        {(f.rule, f.path, f.message) for f in findings}
+    )
+    doc = {
+        "schema": BASELINE_SCHEMA,
+        "findings": [
+            {"rule": rule, "path": rel, "message": message}
+            for rule, rel, message in entries
+        ],
+    }
+    path.write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")

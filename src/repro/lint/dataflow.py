@@ -1,0 +1,270 @@
+"""Intraprocedural forward dataflow for the interprocedural rules.
+
+A deliberately small abstract interpreter: the state maps local
+variable names to frozensets of string *tags* ("param:data",
+"secret", "csprng", ...).  Statements are visited in source order;
+``if``/``for``/``while``/``try`` branches are analyzed on copies of
+the incoming state and joined by union afterwards — a sound
+over-approximation for may-analyses (taint, reachability) without
+building a CFG.
+
+Rules subclass :class:`ForwardAnalysis` and override
+
+* :meth:`call_tags` — tags produced by a call expression (this is
+  where call-graph summaries plug in: a callee whose summary says
+  "returns its first argument's taint" propagates tags through the
+  call);
+* :meth:`visit_expr` — a hook invoked on every loaded expression with
+  the current state (sink checks live here);
+* :meth:`sanitizes` — calls whose *result* is always untagged
+  (``len``, ``hex_digest``...), killing taint along that edge.
+
+Gen/kill is the classic one: an assignment replaces the target's
+tags with the right-hand side's (kill), augmented assignment unions
+them (the old value still feeds the new one), tuple unpacking smears
+the RHS tags across every target.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.callgraph import dotted_name
+
+__all__ = ["ForwardAnalysis", "name_roots"]
+
+Tags = frozenset
+
+
+def name_roots(expr: ast.AST) -> set[str]:
+    """Every bare Name (including attribute roots) read by ``expr``."""
+    out: set[str] = set()
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Name):
+            out.add(node.id)
+    return out
+
+
+class ForwardAnalysis:
+    """Forward may-analysis over one function body.
+
+    ``seed`` maps parameter names to their initial tags.  After
+    :meth:`run`, :attr:`return_tags` holds the union of tags of every
+    ``return`` expression (the function's result summary) and
+    :attr:`final_state` the joined exit state.
+    """
+
+    def __init__(self, fn: ast.FunctionDef | ast.AsyncFunctionDef,
+                 seed: dict[str, Tags] | None = None) -> None:
+        self.fn = fn
+        self.seed = dict(seed or {})
+        self.return_tags: Tags = frozenset()
+        self.final_state: dict[str, Tags] = {}
+
+    # -- override points ----------------------------------------------
+
+    def call_tags(self, call: ast.Call, state: dict[str, Tags]) -> Tags:
+        """Tags of a call's result.  Default: no tags (unknown calls
+        produce clean values); subclasses consult summaries/sources."""
+        return frozenset()
+
+    def sanitizes(self, call: ast.Call) -> bool:
+        """True when the call's result is clean regardless of args."""
+        func = dotted_name(call.func)
+        tail = func.rsplit(".", 1)[-1] if func else ""
+        return tail in ("len", "bool", "type", "id", "isinstance", "range")
+
+    def visit_expr(self, expr: ast.AST, state: dict[str, Tags]) -> None:
+        """Hook called once per *evaluated* expression statement/value
+        position, before transfer.  Sink checks go here."""
+
+    def visit_stmt(self, stmt: ast.stmt, state: dict[str, Tags]) -> None:
+        """Hook called on every statement before its transfer."""
+
+    # -- expression evaluation ----------------------------------------
+
+    def expr_tags(self, expr: ast.AST | None,
+                  state: dict[str, Tags]) -> Tags:
+        if expr is None:
+            return frozenset()
+        if isinstance(expr, ast.Name):
+            return state.get(expr.id, frozenset())
+        if isinstance(expr, ast.Call):
+            if self.sanitizes(expr):
+                return frozenset()
+            return self.call_tags(expr, state)
+        if isinstance(expr, ast.Attribute):
+            # ``x.attr`` carries x's tags (slicing a secret stays
+            # secret); unknown roots are clean.
+            return self.expr_tags(expr.value, state)
+        if isinstance(expr, ast.Subscript):
+            return self.expr_tags(expr.value, state) | self.expr_tags(
+                expr.slice, state
+            )
+        if isinstance(expr, ast.BinOp):
+            return self.expr_tags(expr.left, state) | self.expr_tags(
+                expr.right, state
+            )
+        if isinstance(expr, ast.UnaryOp):
+            return self.expr_tags(expr.operand, state)
+        if isinstance(expr, ast.BoolOp):
+            out: Tags = frozenset()
+            for value in expr.values:
+                out |= self.expr_tags(value, state)
+            return out
+        if isinstance(expr, ast.Compare):
+            return frozenset()  # comparison results are booleans
+        if isinstance(expr, ast.IfExp):
+            return self.expr_tags(expr.body, state) | self.expr_tags(
+                expr.orelse, state
+            )
+        if isinstance(expr, (ast.Tuple, ast.List, ast.Set)):
+            out = frozenset()
+            for elt in expr.elts:
+                out |= self.expr_tags(elt, state)
+            return out
+        if isinstance(expr, ast.Dict):
+            out = frozenset()
+            for key, value in zip(expr.keys, expr.values):
+                out |= self.expr_tags(key, state)
+                out |= self.expr_tags(value, state)
+            return out
+        if isinstance(expr, ast.JoinedStr):
+            out = frozenset()
+            for part in expr.values:
+                if isinstance(part, ast.FormattedValue):
+                    out |= self.expr_tags(part.value, state)
+            return out
+        if isinstance(expr, ast.FormattedValue):
+            return self.expr_tags(expr.value, state)
+        if isinstance(expr, ast.Starred):
+            return self.expr_tags(expr.value, state)
+        if isinstance(expr, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            out = frozenset()
+            for gen in expr.generators:
+                out |= self.expr_tags(gen.iter, state)
+            out |= self.expr_tags(expr.elt, state)
+            return out
+        if isinstance(expr, ast.DictComp):
+            out = frozenset()
+            for gen in expr.generators:
+                out |= self.expr_tags(gen.iter, state)
+            return out | self.expr_tags(expr.key, state) | self.expr_tags(
+                expr.value, state
+            )
+        if isinstance(expr, (ast.Await, ast.YieldFrom)):
+            return self.expr_tags(expr.value, state)
+        if isinstance(expr, ast.Yield):
+            return self.expr_tags(expr.value, state) if expr.value else frozenset()
+        return frozenset()
+
+    # -- statement transfer -------------------------------------------
+
+    def _assign(self, target: ast.AST, tags: Tags,
+                state: dict[str, Tags]) -> None:
+        if isinstance(target, ast.Name):
+            state[target.id] = tags
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._assign(elt, tags, state)
+        elif isinstance(target, ast.Starred):
+            self._assign(target.value, tags, state)
+        # Attribute/subscript stores taint the *container* conservatively.
+        elif isinstance(target, (ast.Attribute, ast.Subscript)):
+            root = target
+            while isinstance(root, (ast.Attribute, ast.Subscript)):
+                root = root.value
+            if isinstance(root, ast.Name) and tags:
+                state[root.id] = state.get(root.id, frozenset()) | tags
+
+    def _walk_exprs(self, stmt: ast.stmt, state: dict[str, Tags]) -> None:
+        """Invoke visit_expr on every expression inside ``stmt`` that
+        is not part of a nested statement/function."""
+        for node in ast.iter_child_nodes(stmt):
+            if isinstance(node, ast.expr):
+                for sub in ast.walk(node):
+                    self.visit_expr(sub, state)
+
+    def _run_body(self, body: list[ast.stmt],
+                  state: dict[str, Tags]) -> dict[str, Tags]:
+        for stmt in body:
+            self.visit_stmt(stmt, state)
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                continue  # nested scopes are analyzed on their own
+            self._walk_exprs(stmt, state)
+            if isinstance(stmt, ast.Assign):
+                tags = self.expr_tags(stmt.value, state)
+                for target in stmt.targets:
+                    self._assign(target, tags, state)
+            elif isinstance(stmt, ast.AnnAssign):
+                if stmt.value is not None:
+                    self._assign(
+                        stmt.target, self.expr_tags(stmt.value, state), state
+                    )
+            elif isinstance(stmt, ast.AugAssign):
+                tags = self.expr_tags(stmt.value, state) | self.expr_tags(
+                    stmt.target, state
+                )
+                self._assign(stmt.target, tags, state)
+            elif isinstance(stmt, ast.Return):
+                self.return_tags |= self.expr_tags(stmt.value, state)
+            elif isinstance(stmt, (ast.If,)):
+                then_state = dict(state)
+                then_state = self._run_body(stmt.body, then_state)
+                else_state = dict(state)
+                else_state = self._run_body(stmt.orelse, else_state)
+                _join_into(state, then_state)
+                _join_into(state, else_state)
+            elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+                self._assign(
+                    stmt.target, self.expr_tags(stmt.iter, state), state
+                )
+                # Two passes approximate the loop fixed point (tags
+                # generated on iteration N feed iteration N+1).
+                loop_state = dict(state)
+                for _ in range(2):
+                    loop_state = self._run_body(stmt.body, loop_state)
+                _join_into(state, loop_state)
+                state = self._run_body(stmt.orelse, state)
+            elif isinstance(stmt, ast.While):
+                loop_state = dict(state)
+                for _ in range(2):
+                    loop_state = self._run_body(stmt.body, loop_state)
+                _join_into(state, loop_state)
+                state = self._run_body(stmt.orelse, state)
+            elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                for item in stmt.items:
+                    if item.optional_vars is not None:
+                        self._assign(
+                            item.optional_vars,
+                            self.expr_tags(item.context_expr, state),
+                            state,
+                        )
+                state = self._run_body(stmt.body, state)
+            elif isinstance(stmt, ast.Try):
+                try_state = self._run_body(stmt.body, dict(state))
+                _join_into(state, try_state)
+                for handler in stmt.handlers:
+                    handler_state = dict(state)
+                    if handler.name:
+                        handler_state[handler.name] = frozenset()
+                    _join_into(state, self._run_body(handler.body,
+                                                     handler_state))
+                state = self._run_body(stmt.orelse, state)
+                state = self._run_body(stmt.finalbody, state)
+            elif isinstance(stmt, ast.Delete):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        state.pop(target.id, None)
+        return state
+
+    def run(self) -> "ForwardAnalysis":
+        state: dict[str, Tags] = dict(self.seed)
+        self.final_state = self._run_body(list(self.fn.body), state)
+        return self
+
+
+def _join_into(state: dict[str, Tags], other: dict[str, Tags]) -> None:
+    for key, tags in other.items():
+        state[key] = state.get(key, frozenset()) | tags

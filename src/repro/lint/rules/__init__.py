@@ -9,6 +9,7 @@ class, register it here, add a passing + failing fixture pair under
 
 from __future__ import annotations
 
+from repro.lint.rules.contracts import ExceptionContractRule
 from repro.lint.rules.counters import CounterRegistryRule
 from repro.lint.rules.crypto import CryptoHygieneRule
 from repro.lint.rules.dtype import DtypeDisciplineRule
@@ -19,7 +20,9 @@ from repro.lint.rules.hygiene import (
     MutableDefaultRule,
     UnusedImportRule,
 )
+from repro.lint.rules.locks import LockDisciplineRule
 from repro.lint.rules.spans import SpanRegistryRule
+from repro.lint.rules.taint import SecretTaintRule
 from repro.lint.walker import Rule
 
 __all__ = ["ALL_RULES", "get_rules", "rule_names"]
@@ -35,6 +38,9 @@ ALL_RULES: tuple[type[Rule], ...] = (
     MutableDefaultRule,
     AssertStmtRule,
     UnusedImportRule,
+    ExceptionContractRule,
+    SecretTaintRule,
+    LockDisciplineRule,
 )
 
 

@@ -29,6 +29,7 @@ from __future__ import annotations
 import ast
 import re
 
+from repro.lint.dataflow import ForwardAnalysis, Tags
 from repro.lint.walker import FileContext, Finding, RepoContext, Rule
 
 __all__ = ["CryptoHygieneRule"]
@@ -209,6 +210,102 @@ def _encrypt_calls_by_scope(tree: ast.AST) -> list[list[ast.Call]]:
     return scopes
 
 
+#: Call tails whose result is sanctioned IV entropy.
+_CSPRNG_CALLS = ("generate_iv", "generate_nonce", "token_bytes", "urandom",
+                 "random_bytes")
+#: Call tails whose result is a deterministic function of their inputs
+#: — hashing, packing, counter serialisation.  An IV built from these
+#: (and no CSPRNG input) repeats whenever the inputs repeat.
+_DETERMINISTIC_CALLS = ("to_bytes", "pack", "digest", "hexdigest",
+                        "encode", "fromhex", "zfill")
+
+_CSPRNG_TAG = "csprng"
+_DET_TAG = "deterministic"
+
+
+class _IvOriginPass(ForwardAnalysis):
+    """Dataflow pass behind the IV-origin check: tags values as
+    CSPRNG-derived or deterministically derived and flags encrypt
+    calls whose IV carries the latter without the former.
+
+    This is the interprocedural upgrade of the literal-IV check: a
+    literal stuffed through a variable (``iv = b"\\0" * 16``), a
+    counter serialisation (``iv = n.to_bytes(16, "big")``) or a hash
+    of the plaintext all get caught, while ``iv = generate_iv()`` and
+    IVs received as parameters (the caller's responsibility) pass.
+    """
+
+    def __init__(self, fn, relpath: str, rule: str) -> None:
+        super().__init__(fn)
+        self.relpath = relpath
+        self.rule = rule
+        self.findings: list[Finding] = []
+        self._flagged: set[int] = set()
+
+    def call_tags(self, call: ast.Call, state) -> Tags:
+        dotted = _identifier(call.func) or ""
+        tail = dotted.rsplit(".", 1)[-1]
+        if tail in _CSPRNG_CALLS:
+            return frozenset((_CSPRNG_TAG,))
+        tags: Tags = frozenset()
+        for arg in list(call.args) + [kw.value for kw in call.keywords]:
+            tags |= self.expr_tags(arg, state)
+        if isinstance(call.func, ast.Attribute):
+            # ``sha256(seed).digest()``: the receiver's provenance
+            # flows through the method call.
+            tags |= self.expr_tags(call.func.value, state)
+        if _CSPRNG_TAG not in tags and (
+            tail in _DETERMINISTIC_CALLS
+            or (tail in ("bytes", "bytearray") and call.args and all(
+                isinstance(arg, ast.Constant) for arg in call.args
+            ))
+        ):
+            tags |= frozenset((_DET_TAG,))
+        return tags
+
+    def expr_tags(self, expr, state) -> Tags:
+        # Only bytes literals seed the deterministic tag: int/str/bool
+        # constants appear on every other line (``self._done = True``)
+        # and would smear the tag across unrelated containers via
+        # attribute stores.
+        if isinstance(expr, ast.Constant) and isinstance(expr.value, bytes):
+            return frozenset((_DET_TAG,))
+        return super().expr_tags(expr, state)
+
+    def visit_expr(self, expr: ast.AST, state) -> None:
+        if not isinstance(expr, ast.Call) or id(expr) in self._flagged:
+            return
+        iv_node = _iv_argument(expr)
+        if iv_node is None or _is_literal_bytes(iv_node):
+            return  # direct literals are the syntactic check's job
+        tags = self.expr_tags(iv_node, state)
+        if _DET_TAG in tags and _CSPRNG_TAG not in tags:
+            self._flagged.add(id(expr))
+            func = _identifier(expr.func)
+            tail = func.rsplit(".", 1)[-1] if func else "encrypt"
+            self.findings.append(Finding(
+                path=self.relpath, line=iv_node.lineno, rule=self.rule,
+                message=(f"IV/nonce passed to {tail}() derives from a "
+                         "deterministic (non-CSPRNG) source; draw it "
+                         "from repro.crypto.rng.generate_iv/"
+                         "generate_nonce"),
+            ))
+
+
+def _iv_origin_findings(ctx: FileContext, rule: str) -> list[Finding]:
+    findings: list[Finding] = []
+    scopes: list[ast.AST] = [ctx.tree]
+    scopes.extend(
+        node for node in ast.walk(ctx.tree)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    )
+    for scope in scopes:
+        iv_pass = _IvOriginPass(scope, ctx.relpath, rule)
+        iv_pass.run()
+        findings.extend(iv_pass.findings)
+    return findings
+
+
 def _iv_findings(ctx: FileContext, rule: str) -> list[Finding]:
     findings = []
     for calls in _encrypt_calls_by_scope(ctx.tree):
@@ -246,8 +343,9 @@ class CryptoHygieneRule(Rule):
     description = (
         "repro.crypto must draw randomness only from rng.py and must "
         "not branch on or index by secret values outside the T-table "
-        "engine; encrypt* callers anywhere in src/ must pass fresh, "
-        "non-literal IVs/nonces"
+        "engine; encrypt* callers anywhere in src/ must pass fresh "
+        "IVs/nonces that originate from a CSPRNG (not literals, "
+        "counters, hashes, or other deterministic derivations)"
     )
 
     def check(self, ctx: FileContext, repo: RepoContext) -> list[Finding]:
@@ -256,6 +354,7 @@ class CryptoHygieneRule(Rule):
         if ctx.relpath == RNG_MODULE:
             return []
         findings = _iv_findings(ctx, self.name)
+        findings += _iv_origin_findings(ctx, self.name)
         if not ctx.relpath.startswith(CRYPTO_PACKAGE):
             return findings
         findings += _randomness_findings(ctx, self.name)

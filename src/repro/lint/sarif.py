@@ -1,0 +1,99 @@
+"""SARIF 2.1.0 rendering for ``secz lint --format sarif``.
+
+SARIF (Static Analysis Results Interchange Format, OASIS standard) is
+what GitHub code scanning ingests; emitting it lets CI annotate PR
+diffs with lint findings instead of burying them in a job log.  Only
+the small subset GitHub actually reads is emitted: tool driver with
+rule metadata, one ``result`` per finding with a physical location.
+
+Like the JSON report, the output is deterministic: findings are
+already sorted by the runner and no timestamps or absolute paths are
+stamped in.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.walker import LintReport, Rule
+
+__all__ = ["SARIF_VERSION", "SARIF_SCHEMA_URI", "to_sarif", "format_sarif"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: Pseudo-rules the runner can emit without a Rule instance.
+_SYNTHETIC_RULES = {
+    "parse-error": "file does not parse",
+    "stale-baseline": (
+        "baseline entry no longer matches any finding and must be "
+        "removed from .lint-baseline.json"
+    ),
+}
+
+
+def to_sarif(report: LintReport, rules: list[Rule] | None = None) -> dict:
+    """The SARIF document for one report, as a plain dict.
+
+    ``rules`` supplies rule descriptions; when omitted, the shipped
+    rule set filtered to ``report.rules_run`` is used.
+    """
+    if rules is None:
+        from repro.lint.rules import ALL_RULES
+
+        ran = set(report.rules_run)
+        rules = [cls() for cls in ALL_RULES if cls.name in ran]
+    known = {rule.name: rule.description for rule in rules}
+    known.update(_SYNTHETIC_RULES)
+    # Rule metadata: every rule that ran plus any finding's rule, in
+    # one deterministic order; ruleIndex lets consumers join back.
+    ids = sorted(set(known) | {f.rule for f in report.findings})
+    index_of = {rule_id: index for index, rule_id in enumerate(ids)}
+    results = []
+    for finding in report.findings:
+        results.append({
+            "ruleId": finding.rule,
+            "ruleIndex": index_of[finding.rule],
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path,
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {"startLine": max(1, finding.line)},
+                },
+            }],
+        })
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "repro-lint",
+                    "informationUri": "docs/LINTING.md",
+                    "rules": [
+                        {
+                            "id": rule_id,
+                            "shortDescription": {
+                                "text": known.get(rule_id, rule_id),
+                            },
+                        }
+                        for rule_id in ids
+                    ],
+                },
+            },
+            "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+            "columnKind": "utf16CodeUnits",
+            "results": results,
+        }],
+    }
+
+
+def format_sarif(report: LintReport, rules: list[Rule] | None = None) -> str:
+    return json.dumps(to_sarif(report, rules), indent=2, sort_keys=True)

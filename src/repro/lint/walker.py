@@ -32,6 +32,7 @@ from __future__ import annotations
 import ast
 import json
 import re
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -164,6 +165,9 @@ class RepoContext:
         fixture_spans: frozenset[str] | None = None,
         documented_structs: frozenset[str] | None = None,
         documented_magics: frozenset[str] | None = None,
+        exception_contracts: dict | None = None,
+        taint_registry: dict | None = None,
+        lock_registry: dict | None = None,
     ) -> None:
         self.root = Path(root)
         self._known_counters = known_counters
@@ -172,6 +176,17 @@ class RepoContext:
         self._fixture_spans = fixture_spans
         self._documented_structs = documented_structs
         self._documented_magics = documented_magics
+        #: Interprocedural-rule registries; ``None`` means the rule's
+        #: shipped default (rules/contracts.py, rules/taint.py,
+        #: rules/locks.py).  Injectable like every other registry so
+        #: engine tests run against synthetic packages.
+        self.exception_contracts = exception_contracts
+        self.taint_registry = taint_registry
+        self.lock_registry = lock_registry
+        #: relpath -> FileContext for every file the runner parsed;
+        #: the call-graph builder and finalize-stage pragma filtering
+        #: both read this.
+        self.contexts: dict[str, FileContext] = {}
         #: Relpaths of every scanned file (set by the runner); rules
         #: use this to decide whether repo-wide "vice versa" checks are
         #: meaningful (they are skipped on partial scans).
@@ -290,6 +305,13 @@ class LintReport:
     findings: list[Finding]
     files_checked: int
     rules_run: list[str] = field(default_factory=list)
+    #: Per-rule wall-clock seconds (``--profile``).  Deliberately NOT
+    #: part of :meth:`to_dict` — JSON reports must stay byte-identical
+    #: across runs.
+    profile: dict[str, float] = field(default_factory=dict)
+    #: Findings suppressed by the baseline file (for ``--profile`` /
+    #: diagnostics; also excluded from the deterministic report).
+    baseline_suppressed: int = 0
 
     @property
     def exit_code(self) -> int:
@@ -313,10 +335,24 @@ class LintReport:
     def format_text(self) -> str:
         lines = [f.format() for f in self.findings]
         noun = "finding" if len(self.findings) == 1 else "findings"
-        lines.append(
+        summary = (
             f"{len(self.findings)} {noun} in {self.files_checked} files "
             f"({len(self.rules_run)} rules)"
         )
+        if self.baseline_suppressed:
+            summary += f" [{self.baseline_suppressed} baselined]"
+        lines.append(summary)
+        return "\n".join(lines)
+
+    def format_profile(self) -> str:
+        """Per-rule timing table for ``--profile``."""
+        total = sum(self.profile.values())
+        lines = ["rule                            seconds"]
+        for name, seconds in sorted(
+            self.profile.items(), key=lambda kv: -kv[1]
+        ):
+            lines.append(f"{name:<30}  {seconds:8.3f}")
+        lines.append(f"{'total':<30}  {total:8.3f}")
         return "\n".join(lines)
 
 
@@ -359,17 +395,31 @@ class LintRunner:
                 continue
             contexts.append(ctx)
             self.repo.scanned.add(relpath)
+            self.repo.contexts[relpath] = ctx
+        profile: dict[str, float] = {rule.name: 0.0 for rule in self.rules}
         for ctx in contexts:
             for rule in self.rules:
-                for finding in rule.check(ctx, self.repo):
+                start = time.perf_counter()
+                checked = rule.check(ctx, self.repo)
+                profile[rule.name] += time.perf_counter() - start
+                for finding in checked:
                     if not ctx.suppressed(finding.rule, finding.line):
                         findings.append(finding)
         for rule in self.rules:
-            findings.extend(rule.finalize(self.repo))
+            start = time.perf_counter()
+            finalized = rule.finalize(self.repo)
+            profile[rule.name] += time.perf_counter() - start
+            for finding in finalized:
+                ctx = self.repo.contexts.get(finding.path)
+                if ctx is None or not ctx.suppressed(
+                    finding.rule, finding.line
+                ):
+                    findings.append(finding)
         return LintReport(
             findings=sorted(findings),
             files_checked=len(files),
             rules_run=[rule.name for rule in self.rules],
+            profile=profile,
         )
 
     def _relpath(self, path: Path) -> str:

@@ -187,6 +187,12 @@ def unpack_header(header: bytes) -> tuple[int, int, bytes, int]:
     :class:`ProtocolError` with the documented error code on a bad
     magic, unsupported version, or oversized payload.
     """
+    if len(header) != FRAME_HEADER.size:
+        raise ProtocolError(
+            ERR_PAYLOAD,
+            f"frame header is {len(header)} bytes, expected "
+            f"{FRAME_HEADER.size}",
+        )
     magic, version, verb, status, job_id, length = FRAME_HEADER.unpack(header)
     if magic != PROTOCOL_MAGIC:
         raise ProtocolError(ERR_MAGIC, f"bad frame magic {magic!r}")

@@ -1115,11 +1115,11 @@ _codec_cache: OrderedDict[bytes, CanonicalCodec] = OrderedDict()
 _codec_cache_lock = threading.Lock()
 
 
-def _codec_cached(key: bytes) -> CanonicalCodec | None:
+def _codec_cached(digest: bytes) -> CanonicalCodec | None:
     with _codec_cache_lock:
-        codec = _codec_cache.get(key)
+        codec = _codec_cache.get(digest)
         if codec is not None:
-            _codec_cache.move_to_end(key)
+            _codec_cache.move_to_end(digest)
             trace.count("huffman.codec_cache_hits")
         return codec
 

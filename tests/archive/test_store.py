@@ -231,3 +231,13 @@ class TestConstruction:
         store = ArchiveStore.create(path)
         with pytest.raises(ValueError, match="key"):
             store.add_field("f", np.zeros((8, 8), np.float32))
+
+    def test_invalid_utf8_entry_name_is_archive_corrupt(self, path):
+        """A corrupted entry name must surface as ArchiveCorrupt, not a
+        raw UnicodeDecodeError (found by the exception-contract sweep)."""
+        from repro.archive.store import _V2_COUNTS, _V2_NAME
+
+        store = ArchiveStore.create(path, key=KEY)
+        bad_index = _V2_COUNTS.pack(0, 1) + _V2_NAME.pack(2) + b"\xff\xfe"
+        with pytest.raises(ArchiveCorrupt, match="not valid UTF-8"):
+            store._parse_index(bad_index, file_size=1 << 20)

@@ -1,0 +1,28 @@
+"""Bad case: raw lookup/struct/unicode errors escape the entry point."""
+
+import struct
+
+_HEADER = struct.Struct("<HH")
+
+
+def parse(blob):
+    # No length check: a short blob raises struct.error.
+    count, kind = _HEADER.unpack(blob[: _HEADER.size])
+    sections = _split(blob[_HEADER.size:], count)
+    # Renamed/missing section raises KeyError (the PR 9 flip shape).
+    name = sections["name"].decode("utf-8")
+    return name, _entry(sections, kind)
+
+
+def _split(payload, count):
+    out = {}
+    for i in range(count):
+        out[str(i)] = payload[i : i + 1]
+    return out
+
+
+def _entry(sections, kind):
+    table = [1, 2, 3]
+    # Untrusted index into a fixed table raises IndexError (the
+    # Kraft-oversubscription shape).
+    return table[kind]

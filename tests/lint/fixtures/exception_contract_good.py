@@ -1,0 +1,32 @@
+"""Good case: the parse entry point only lets ValueError escape."""
+
+import struct
+
+_HEADER = struct.Struct("<HH")
+
+
+def parse(blob):
+    if len(blob) < _HEADER.size:
+        raise ValueError("truncated header")
+    count, kind = _HEADER.unpack(blob[: _HEADER.size])
+    return _sections(blob[_HEADER.size:], count)
+
+
+def _sections(payload, count):
+    out = {}
+    pos = 0
+    for _ in range(count):
+        if pos >= len(payload):
+            raise ValueError("truncated section")
+        out[payload[pos]] = payload[pos + 1 : pos + 2]
+        pos += 2
+    if "data" in out:
+        return out["data"]
+    try:
+        return _lookup(out)
+    except KeyError:
+        raise ValueError("missing section") from None
+
+
+def _lookup(sections):
+    return sections["meta"]

@@ -1,0 +1,25 @@
+"""Bad case: unguarded access to declared state, plus undeclared
+module-level mutable state mutated from functions."""
+
+import threading
+
+_cache = {}
+_cache_lock = threading.Lock()
+
+_stats = {"hits": 0}
+
+
+def lookup(key):
+    # Missing the with-block: torn reads under concurrent inserts.
+    return _cache.get(key)
+
+
+def insert(key, value):
+    with _cache_lock:
+        _cache[key] = value
+    _stats["hits"] += 1
+
+
+def clear():
+    with _cache_lock:
+        _cache.clear()

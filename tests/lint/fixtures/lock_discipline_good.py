@@ -1,0 +1,23 @@
+"""Good case: every cache access sits under the declared lock."""
+
+import threading
+
+_cache = {}
+_cache_lock = threading.Lock()
+
+
+def lookup(key):
+    with _cache_lock:
+        return _cache.get(key)
+
+
+def insert(key, value):
+    with _cache_lock:
+        _cache[key] = value
+        while len(_cache) > 64:
+            _cache.popitem()
+
+
+def clear():
+    with _cache_lock:
+        _cache.clear()

@@ -1,0 +1,50 @@
+"""PR 9's two fuzz-discovered parser holes, preserved pre-fix.
+
+Shape 1: a Kraft-oversubscribed Huffman table walks an untrusted code
+length past the first-code table — ``IndexError``.  Shape 2: a
+section-renaming flip looks up a hardcoded section name in an
+attacker-shaped dict — ``KeyError``.  Both violated the contract that
+parse entry points raise only ``ValueError`` subclasses; the
+exception-contract rule must report both statically.
+"""
+
+import struct
+
+_HEADER = struct.Struct("<BB")
+_MAX_CODE_LEN = 15
+
+
+def deserialize_tree(blob):
+    if len(blob) < _HEADER.size:
+        raise ValueError("truncated tree header")
+    n_symbols, _flags = _HEADER.unpack(blob[: _HEADER.size])
+    lengths = list(blob[_HEADER.size : _HEADER.size + n_symbols])
+    return _canonical_table(lengths)
+
+
+def _canonical_table(lengths):
+    # Pre-fix: no Kraft-sum validation, so an oversubscribed table
+    # indexes first_code past _MAX_CODE_LEN.
+    first_code = [0] * (_MAX_CODE_LEN + 1)
+    codewords = []
+    for code_len in lengths:
+        codewords.append(first_code[code_len])
+        first_code[code_len] += 1
+    return codewords
+
+
+def unpack_sections(blob):
+    sections = _split_sections(blob)
+    # Pre-fix: a renamed section raises KeyError, not ValueError.
+    return sections["quantized"], sections["huffman_tree"]
+
+
+def _split_sections(blob):
+    out = {}
+    pos = 0
+    while pos + 2 <= len(blob):
+        name_len = blob[pos]
+        name = blob[pos + 1 : pos + 1 + name_len].decode("latin-1")
+        out[name] = blob[pos + 1 + name_len :]
+        pos += 1 + name_len
+    return out

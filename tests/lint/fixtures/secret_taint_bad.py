@@ -1,0 +1,20 @@
+"""Bad case: key material reaches logs, exceptions, spans, writes."""
+
+import logging
+
+log = logging.getLogger(__name__)
+
+
+def protect(key, payload, span, fh):
+    print("using key", key)
+    schedule = expand_key(key)
+    log.debug("schedule %r", schedule)
+    span.annotate(key=key)
+    fh.write(key)
+    if not payload:
+        raise ValueError(f"no payload for key {key!r}")
+    return bytes(a ^ b for a, b in zip(payload, schedule))
+
+
+def expand_key(key):
+    return key * 4

@@ -1,0 +1,21 @@
+"""Good case: secrets feed ciphers and sanitizers, never sinks."""
+
+
+def protect(key, payload):
+    round_keys = expand_key(key)
+    ciphertext = seal(round_keys, payload)
+    print("sealed", len(key), "key bytes ->", len(ciphertext))
+    return ciphertext
+
+
+def expand_key(key):
+    return key * 4
+
+
+def seal(round_keys, payload):
+    return bytes(a ^ b for a, b in zip(payload, round_keys))
+
+
+def describe(payload):
+    print("payload head:", payload[:4])
+    return repr(payload)

@@ -1,0 +1,164 @@
+"""Call-graph resolution over a synthetic package: methods, aliased
+imports, decorators, relative imports, constructors, subclassing."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import LintRunner, RepoContext
+from repro.lint.callgraph import (
+    build_callgraph,
+    dotted_name,
+    get_callgraph,
+    module_name,
+)
+from repro.lint.walker import FileContext
+
+PKG = {
+    "src/repro/pkg/__init__.py": "",
+    "src/repro/pkg/codec.py": (
+        "from repro.pkg import util as u\n"
+        "from repro.pkg.util import checksum as ck\n"
+        "\n"
+        "class Codec:\n"
+        "    def __init__(self, table):\n"
+        "        self.table = table\n"
+        "\n"
+        "    def encode(self, data):\n"
+        "        return self.pack(data) + ck(data)\n"
+        "\n"
+        "    def pack(self, data):\n"
+        "        return u.swap(data)\n"
+        "\n"
+        "class WideCodec(Codec):\n"
+        "    def encode(self, data):\n"
+        "        return self.pack(data)\n"
+        "\n"
+        "def make(table):\n"
+        "    return Codec(table)\n"
+    ),
+    "src/repro/pkg/util.py": (
+        "import functools\n"
+        "\n"
+        "def swap(data):\n"
+        "    return data[::-1]\n"
+        "\n"
+        "@functools.lru_cache(maxsize=8)\n"
+        "def checksum(data):\n"
+        "    return sum(data) & 0xFF\n"
+        "\n"
+        "def chained(data):\n"
+        "    from repro.pkg import codec\n"
+        "    return checksum(swap(data))\n"
+    ),
+}
+
+
+@pytest.fixture
+def graph(tmp_path):
+    root = tmp_path / "repo"
+    (root / "docs").mkdir(parents=True)
+    (root / "pyproject.toml").write_text("")
+    contexts = []
+    for relpath, source in PKG.items():
+        target = root / relpath
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(source)
+        contexts.append(FileContext(target, relpath, source))
+    return build_callgraph(contexts)
+
+
+def test_module_name_mapping():
+    assert module_name("src/repro/sz/huffman.py") == "repro.sz.huffman"
+    assert module_name("src/repro/lint/__init__.py") == "repro.lint"
+    assert module_name("tests/lint/test_rules.py") is None
+
+
+def test_declarations(graph):
+    assert "repro.pkg.util.swap" in graph.functions
+    assert "repro.pkg.codec.Codec.encode" in graph.functions
+    assert "repro.pkg.codec.make" in graph.functions
+    info = graph.functions["repro.pkg.codec.Codec.encode"]
+    assert info.owner == "repro.pkg.codec.Codec"
+    assert info.params == ["data"]  # self stripped
+
+
+def test_decorated_function_declared_with_decorator(graph):
+    info = graph.functions["repro.pkg.util.checksum"]
+    assert "functools.lru_cache" in info.decorators
+
+
+def test_self_method_resolution(graph):
+    encode = graph.functions["repro.pkg.codec.Codec.encode"]
+    callees = {site.callee for site in encode.calls}
+    assert "repro.pkg.codec.Codec.pack" in callees
+
+
+def test_inherited_self_dispatch(graph):
+    """WideCodec.encode calls self.pack, found on the base class."""
+    encode = graph.functions["repro.pkg.codec.WideCodec.encode"]
+    callees = {site.callee for site in encode.calls}
+    assert "repro.pkg.codec.Codec.pack" in callees
+
+
+def test_aliased_module_import_resolution(graph):
+    pack = graph.functions["repro.pkg.codec.Codec.pack"]
+    assert {site.callee for site in pack.calls} == {"repro.pkg.util.swap"}
+
+
+def test_aliased_function_import_resolution(graph):
+    encode = graph.functions["repro.pkg.codec.Codec.encode"]
+    assert "repro.pkg.util.checksum" in {s.callee for s in encode.calls}
+
+
+def test_constructor_resolves_to_init(graph):
+    make = graph.functions["repro.pkg.codec.make"]
+    assert "repro.pkg.codec.Codec.__init__" in {
+        site.callee for site in make.calls
+    }
+
+
+def test_module_local_calls_resolve(graph):
+    chained = graph.functions["repro.pkg.util.chained"]
+    callees = {site.callee for site in chained.calls}
+    assert {"repro.pkg.util.checksum", "repro.pkg.util.swap"} <= callees
+
+
+def test_unresolved_calls_keep_raw_name(graph):
+    checksum = graph.functions["repro.pkg.util.checksum"]
+    unresolved = [s for s in checksum.calls if s.callee is None]
+    assert any(s.raw == "sum" for s in unresolved)
+
+
+def test_subclasses_of(graph):
+    assert graph.subclasses_of("repro.pkg.codec.Codec") == {
+        "repro.pkg.codec.WideCodec"
+    }
+
+
+def test_callers_query(graph):
+    assert set(graph.callers("repro.pkg.util.swap")) == {
+        "repro.pkg.codec.Codec.pack", "repro.pkg.util.chained"
+    }
+
+
+def test_dotted_name():
+    import ast
+
+    expr = ast.parse("a.b.c(1)").body[0].value
+    assert dotted_name(expr.func) == "a.b.c"
+    assert dotted_name(ast.parse("f()").body[0].value.func) == "f"
+    assert dotted_name(ast.parse("(x or y)()").body[0].value.func) is None
+
+
+def test_get_callgraph_cached_per_run(tmp_path):
+    root = tmp_path / "repo"
+    mod = root / "src" / "repro" / "m.py"
+    mod.parent.mkdir(parents=True)
+    (root / "pyproject.toml").write_text("")
+    mod.write_text("def f():\n    return g()\n\ndef g():\n    return 1\n")
+    repo = RepoContext(root)
+    LintRunner([], repo).run([mod])
+    graph = get_callgraph(repo)
+    assert graph is get_callgraph(repo)
+    assert "repro.m.f" in graph.functions

@@ -91,3 +91,50 @@ def test_nonexistent_path_fails_loudly(tmp_path):
     root = make_repo(tmp_path, "bare_except_good.py")
     with pytest.raises(SystemExit):
         cli.main(["lint", str(root / "README.md"), "--root", str(root)])
+
+
+def test_sarif_output_parses_and_names_driver(tmp_path, capsys):
+    root = make_repo(tmp_path, "bare_except_bad.py")
+    assert cli.main(lint_argv(root, "--format", "sarif")) == 1
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["version"] == "2.1.0"
+    assert doc["runs"][0]["tool"]["driver"]["name"] == "repro-lint"
+    assert doc["runs"][0]["results"][0]["ruleId"] == "bare-except"
+
+
+def test_write_baseline_then_clean_run(tmp_path, capsys):
+    root = make_repo(tmp_path, "bare_except_bad.py")
+    assert cli.main(lint_argv(root, "--write-baseline")) == 0
+    assert "wrote" in capsys.readouterr().out
+    assert (root / ".lint-baseline.json").exists()
+    # The baseline is picked up automatically on the next run...
+    assert cli.main(lint_argv(root)) == 0
+    assert "[1 baselined]" in capsys.readouterr().out
+    # ...unless explicitly ignored.
+    assert cli.main(lint_argv(root, "--no-baseline")) == 1
+
+
+def test_baseline_and_no_baseline_are_exclusive(tmp_path):
+    root = make_repo(tmp_path, "bare_except_good.py")
+    with pytest.raises(SystemExit, match="exclusive"):
+        cli.main(lint_argv(root, "--baseline", "x.json", "--no-baseline"))
+
+
+def test_profile_prints_per_rule_timings(tmp_path, capsys):
+    root = make_repo(tmp_path, "bare_except_good.py")
+    assert cli.main(lint_argv(root, "--profile")) == 0
+    captured = capsys.readouterr()
+    assert "seconds" in captured.err
+    assert "bare-except" in captured.err
+    # Timings never contaminate the deterministic report stream.
+    assert "seconds" not in captured.out
+
+
+def test_profile_json_stays_deterministic(tmp_path, capsys):
+    root = make_repo(tmp_path, "bare_except_bad.py")
+    assert cli.main(lint_argv(root, "--format", "json", "--profile")) == 1
+    first = capsys.readouterr()
+    assert cli.main(lint_argv(root, "--format", "json", "--profile")) == 1
+    second = capsys.readouterr()
+    assert first.out == second.out
+    assert first.err != ""

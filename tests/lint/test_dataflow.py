@@ -1,0 +1,233 @@
+"""Unit tests for the forward-dataflow engine: gen/kill, joins,
+loops, container smearing, sanitizers, and the override hooks."""
+
+import ast
+
+from repro.lint.dataflow import ForwardAnalysis, name_roots
+
+TAINT = frozenset({"taint"})
+
+
+def analyze(source: str, seed=None, cls=ForwardAnalysis):
+    fn = ast.parse(source).body[0]
+    return cls(fn, seed or {}).run()
+
+
+def test_assignment_gen():
+    result = analyze(
+        "def f(data):\n"
+        "    copy = data\n"
+        "    return copy\n",
+        seed={"data": TAINT},
+    )
+    assert result.final_state["copy"] == TAINT
+    assert result.return_tags == TAINT
+
+
+def test_assignment_kill():
+    result = analyze(
+        "def f(data):\n"
+        "    data = b''\n"
+        "    return data\n",
+        seed={"data": TAINT},
+    )
+    assert result.final_state["data"] == frozenset()
+    assert result.return_tags == frozenset()
+
+
+def test_augmented_assignment_unions():
+    result = analyze(
+        "def f(data, clean):\n"
+        "    clean += data\n"
+        "    return clean\n",
+        seed={"data": TAINT},
+    )
+    assert result.return_tags == TAINT
+
+
+def test_branch_join_is_union():
+    result = analyze(
+        "def f(data, flag):\n"
+        "    out = b''\n"
+        "    if flag:\n"
+        "        out = data\n"
+        "    return out\n",
+        seed={"data": TAINT},
+    )
+    # Either branch may execute: the join keeps the tainted path.
+    assert result.return_tags == TAINT
+
+
+def test_kill_in_one_branch_does_not_clean_the_other():
+    result = analyze(
+        "def f(data, flag):\n"
+        "    if flag:\n"
+        "        data = b''\n"
+        "    return data\n",
+        seed={"data": TAINT},
+    )
+    assert result.return_tags == TAINT
+
+
+def test_loop_carries_tags_across_iterations():
+    """Tags generated on iteration N must reach iteration N+1 (the
+    two-pass approximation)."""
+    result = analyze(
+        "def f(data, items):\n"
+        "    acc = b''\n"
+        "    for _ in items:\n"
+        "        prev = acc\n"
+        "        acc = acc + data\n"
+        "    return prev\n",
+        seed={"data": TAINT},
+    )
+    assert result.return_tags == TAINT
+
+
+def test_for_target_gets_iterable_tags():
+    result = analyze(
+        "def f(rows):\n"
+        "    for row in rows:\n"
+        "        last = row\n"
+        "    return last\n",
+        seed={"rows": TAINT},
+    )
+    assert result.return_tags == TAINT
+
+
+def test_tuple_unpack_smears():
+    result = analyze(
+        "def f(pair):\n"
+        "    a, b = pair\n"
+        "    return b\n",
+        seed={"pair": TAINT},
+    )
+    assert result.return_tags == TAINT
+
+
+def test_attribute_store_taints_container():
+    result = analyze(
+        "def f(obj, data):\n"
+        "    obj.field = data\n"
+        "    return obj\n",
+        seed={"data": TAINT},
+    )
+    assert result.return_tags == TAINT
+
+
+def test_clean_attribute_store_does_not_taint_container():
+    result = analyze(
+        "def f(obj):\n"
+        "    obj.done = flag()\n"
+        "    return obj\n",
+    )
+    assert result.return_tags == frozenset()
+
+
+def test_default_sanitizers_kill():
+    result = analyze(
+        "def f(data):\n"
+        "    n = len(data)\n"
+        "    return n\n",
+        seed={"data": TAINT},
+    )
+    assert result.return_tags == frozenset()
+
+
+def test_fstring_and_binop_propagate():
+    result = analyze(
+        "def f(data):\n"
+        "    msg = f'got {data!r}' + 'x'\n"
+        "    return msg\n",
+        seed={"data": TAINT},
+    )
+    assert result.return_tags == TAINT
+
+
+def test_compare_result_is_clean():
+    result = analyze(
+        "def f(data):\n"
+        "    ok = data == b''\n"
+        "    return ok\n",
+        seed={"data": TAINT},
+    )
+    assert result.return_tags == frozenset()
+
+
+def test_try_handler_join():
+    result = analyze(
+        "def f(data):\n"
+        "    out = b''\n"
+        "    try:\n"
+        "        out = data\n"
+        "    except ValueError:\n"
+        "        out = b''\n"
+        "    return out\n",
+        seed={"data": TAINT},
+    )
+    assert result.return_tags == TAINT
+
+
+def test_with_binds_context_tags():
+    result = analyze(
+        "def f(data):\n"
+        "    with data as fh:\n"
+        "        return fh\n",
+        seed={"data": TAINT},
+    )
+    assert result.return_tags == TAINT
+
+
+def test_nested_function_bodies_are_skipped():
+    result = analyze(
+        "def f(data):\n"
+        "    def helper():\n"
+        "        return data\n"
+        "    return b''\n",
+        seed={"data": TAINT},
+    )
+    assert result.return_tags == frozenset()
+
+
+def test_call_tags_override_plugs_in_summaries():
+    class Summarizing(ForwardAnalysis):
+        def call_tags(self, call, state):
+            if ast.unparse(call.func) == "derive":
+                tags = frozenset()
+                for arg in call.args:
+                    tags |= self.expr_tags(arg, state)
+                return tags
+            return frozenset()
+
+    result = analyze(
+        "def f(key):\n"
+        "    material = derive(key)\n"
+        "    other = unknown(key)\n"
+        "    return material\n",
+        seed={"key": TAINT},
+        cls=Summarizing,
+    )
+    assert result.final_state["material"] == TAINT
+    assert result.final_state["other"] == frozenset()
+
+
+def test_visit_expr_hook_sees_every_expression():
+    seen = []
+
+    class Recording(ForwardAnalysis):
+        def visit_expr(self, expr, state):
+            if isinstance(expr, ast.Name):
+                seen.append(expr.id)
+
+    analyze(
+        "def f(a, b):\n"
+        "    c = a + b\n"
+        "    return c\n",
+        cls=Recording,
+    )
+    assert {"a", "b", "c"} <= set(seen)
+
+
+def test_name_roots():
+    expr = ast.parse("a.b[c].d + f(g)").body[0].value
+    assert name_roots(expr) == {"a", "c", "f", "g"}

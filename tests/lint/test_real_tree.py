@@ -20,10 +20,37 @@ def test_repo_root_detected():
 
 
 def test_src_tree_is_lint_clean():
+    """Clean modulo the checked-in baseline: zero live findings, and
+    every baseline entry still matches (none stale)."""
     report = lint.lint_paths([REPO / "src"], root=REPO)
     assert report.findings == [], "\n" + report.format_text()
     assert report.files_checked > 50
     assert len(report.rules_run) >= 6
+
+
+def test_baseline_only_holds_triaged_exception_contract_rows():
+    """The baseline is a triage record, not a mute button: every entry
+    is an exception-contract row on the numpy-heavy decode internals,
+    and the live run really is suppressing each one."""
+    entries = lint.load_baseline(REPO / lint.BASELINE_FILENAME)
+    assert entries, "baseline must not be empty while findings exist"
+    assert {rule for rule, _, _ in entries} == {"exception-contract"}
+    assert all(path.startswith("src/repro/sz/") for _, path, _ in entries)
+    report = lint.lint_paths([REPO / "src"], root=REPO)
+    assert report.baseline_suppressed >= len(entries)
+
+
+def test_full_repo_analysis_fits_time_budget():
+    """Acceptance: whole-program analysis over src/ stays under the
+    30 s CI budget, and the profile accounts for every rule."""
+    import time
+
+    start = time.monotonic()
+    report = lint.lint_paths([REPO / "src"], root=REPO)
+    elapsed = time.monotonic() - start
+    assert elapsed < 30.0, f"full-repo lint took {elapsed:.1f}s"
+    assert set(report.profile) >= set(report.rules_run)
+    assert all(seconds >= 0.0 for seconds in report.profile.values())
 
 
 def test_documented_counters_match_registry():

@@ -51,6 +51,15 @@ class TestFrameCodec:
         with pytest.raises(ValueError):
             protocol.pack_frame(protocol.VERB_PING, job_id=b"short")
 
+    @pytest.mark.parametrize("size", [0, 1, 19, 21])
+    def test_short_or_long_header_is_protocol_error(self, size):
+        """A truncated/overlong header must raise ProtocolError, not
+        struct.error (found by the exception-contract lint rule)."""
+        blob = protocol.pack_frame(protocol.VERB_PING) + b"\x00"
+        with pytest.raises(protocol.ProtocolError) as exc:
+            protocol.unpack_header(bytes(blob[:size]))
+        assert exc.value.code == protocol.ERR_PAYLOAD
+
     def test_frame_helpers(self):
         frame = protocol.Frame(verb=protocol.VERB_FETCH,
                                status=protocol.ERR_NOT_DONE,
